@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short cover bench experiments experiments-quick fuzz examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every reproduced table/figure at full scale (~8 minutes).
+experiments:
+	$(GO) run ./cmd/wmsnbench
+
+experiments-quick:
+	$(GO) run ./cmd/wmsnbench -quick
+
+# Short fuzzing pass over every wire-format parser.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet/
+	$(GO) test -fuzz=FuzzParseRReqBlocks -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzParseNotifyPayloads -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzSecMLRGatewayInput -fuzztime=30s ./internal/core/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/forestfire
+	$(GO) run ./examples/battlefield
+	$(GO) run ./examples/building
+
+clean:
+	rm -f cover.out wmsnbench test_output.txt bench_output.txt

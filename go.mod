@@ -1,0 +1,3 @@
+module wmsn
+
+go 1.22

@@ -1,0 +1,160 @@
+// Package analytic implements the analytical performance model the paper's
+// §7.2 calls for: closed-form (plus light numeric integration) estimates of
+// hop counts, forwarding load, energy and first-death lifetime as functions
+// of field size, node count, radio range and gateway count — "to
+// quantitatively analyze the performance of routing methods under various
+// network situations and determine the best method for a particular
+// application" without running the event simulator.
+//
+// The model's estimates are validated against the simulator in this
+// package's tests and surfaced by `wmsntopo -model`.
+package analytic
+
+import (
+	"math"
+
+	"wmsn/internal/geom"
+)
+
+// HopProgress is the expected forward progress per hop, as a fraction of
+// the radio range, for greedy/shortest-path forwarding on a
+// well-connected random unit-disk network. The classic result is that
+// progress approaches the full range as density grows; 0.80 matches our
+// simulated fields (average degree 8-14) within a few percent.
+const HopProgress = 0.80
+
+// Model describes one WMSN deployment for analysis.
+type Model struct {
+	N     int     // sensor count
+	Side  float64 // field side, meters (uniform deployment assumed)
+	Range float64 // sensor radio range, meters
+	K     int     // gateway count (grid placement assumed)
+
+	// Traffic and radio cost parameters for energy estimates.
+	PacketBits     int     // bits per data packet on the air
+	ReportInterval float64 // seconds between reports per sensor
+	TxJPerBit      float64 // transmission energy, J/bit
+	RxJPerBit      float64 // reception energy, J/bit
+}
+
+// Density returns nodes per square meter.
+func (m Model) Density() float64 {
+	if m.Side <= 0 {
+		return 0
+	}
+	return float64(m.N) / (m.Side * m.Side)
+}
+
+// AvgDegree returns the expected neighbor count of an interior node.
+func (m Model) AvgDegree() float64 {
+	return m.Density() * math.Pi * m.Range * m.Range
+}
+
+// Connected reports whether the field is comfortably above the
+// connectivity threshold (average degree of ~2·ln n is a safe classical
+// sufficient margin; below ~4 the giant component starts to fragment).
+func (m Model) Connected() bool {
+	if m.N <= 1 {
+		return true
+	}
+	return m.AvgDegree() >= 2*math.Log(float64(m.N))
+}
+
+// MeanGatewayDistance returns the expected Euclidean distance from a
+// uniform random field point to the nearest of K grid-placed gateways,
+// computed by deterministic stratified sampling (no RNG: reproducible and
+// accurate to ~1% at the default resolution).
+func (m Model) MeanGatewayDistance() float64 {
+	if m.K <= 0 || m.Side <= 0 {
+		return 0
+	}
+	gws := geom.PlaceGrid(m.K, geom.Square(m.Side))
+	const grid = 64
+	step := m.Side / grid
+	total := 0.0
+	for i := 0; i < grid; i++ {
+		for j := 0; j < grid; j++ {
+			p := geom.Point{X: (float64(i) + 0.5) * step, Y: (float64(j) + 0.5) * step}
+			best := math.Inf(1)
+			for _, g := range gws {
+				best = math.Min(best, p.Dist(g))
+			}
+			total += best
+		}
+	}
+	return total / (grid * grid)
+}
+
+// AvgHops estimates the mean hop count from a sensor to its nearest
+// gateway: the mean gateway distance divided by the expected per-hop
+// progress, with a floor of one hop.
+func (m Model) AvgHops() float64 {
+	if m.Range <= 0 {
+		return 0
+	}
+	h := m.MeanGatewayDistance() / (HopProgress * m.Range)
+	return math.Max(1, h)
+}
+
+// TotalForwardingLoad returns the expected number of transmissions per
+// reporting interval across the whole field: every sensor's packet is
+// transmitted once per hop.
+func (m Model) TotalForwardingLoad() float64 {
+	return float64(m.N) * m.AvgHops()
+}
+
+// GatewayNeighborhoodLoad estimates the per-interval forwarding load on a
+// single gateway-adjacent relay: a gateway absorbs N/K packets per
+// interval, of which the fraction arriving over more than one hop is split
+// among the relays inside its radio disk.
+func (m Model) GatewayNeighborhoodLoad() float64 {
+	if m.K <= 0 {
+		return 0
+	}
+	perGateway := float64(m.N) / float64(m.K)
+	relays := math.Max(1, m.AvgDegree())
+	multiHopFraction := 1.0
+	if h := m.AvgHops(); h > 0 {
+		multiHopFraction = math.Max(0, 1-1/h) // 1-hop senders skip relays
+	}
+	return perGateway * multiHopFraction / relays * m.AvgHops()
+}
+
+// EnergyPerIntervalHotspot estimates the joules per reporting interval
+// spent by a gateway-adjacent relay (its own report + relayed traffic +
+// overhearing its neighborhood).
+func (m Model) EnergyPerIntervalHotspot() float64 {
+	bits := float64(m.PacketBits)
+	tx := (1 + m.GatewayNeighborhoodLoad()) * bits * m.TxJPerBit
+	// Overhearing: every transmission inside the relay's disk is received.
+	localTx := m.TotalForwardingLoad() * (math.Pi * m.Range * m.Range) / (m.Side * m.Side)
+	rx := localTx * bits * m.RxJPerBit
+	return tx + rx
+}
+
+// Lifetime estimates the first-death network lifetime in seconds for a
+// given per-sensor battery (joules): the hotspot relay is the first to
+// die.
+func (m Model) Lifetime(batteryJ float64) float64 {
+	perInterval := m.EnergyPerIntervalHotspot()
+	if perInterval <= 0 || m.ReportInterval <= 0 {
+		return math.Inf(1)
+	}
+	return batteryJ / perInterval * m.ReportInterval
+}
+
+// LifetimeGain estimates the lifetime ratio of deploying k2 gateways over
+// k1 — the quantity the gateway-number model of §4.1 optimizes. The gain
+// saturates once the one-hop fraction dominates, reproducing the Kmax
+// effect without simulation.
+func (m Model) LifetimeGain(k1, k2 int) float64 {
+	a := m
+	a.K = k1
+	b := m
+	b.K = k2
+	la, lb := a.Lifetime(1), b.Lifetime(1)
+	if la <= 0 || math.IsInf(la, 1) {
+		return 1
+	}
+	return lb / la
+}

@@ -1,0 +1,151 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/placement"
+)
+
+func baseModel() Model {
+	return Model{
+		N: 300, Side: 300, Range: 40, K: 3,
+		PacketBits: 376, ReportInterval: 10,
+		TxJPerBit: 210e-9, RxJPerBit: 50e-9,
+	}
+}
+
+func TestDensityDegreeConnected(t *testing.T) {
+	m := baseModel()
+	if got := m.Density(); math.Abs(got-300.0/90000) > 1e-12 {
+		t.Fatalf("density = %v", got)
+	}
+	wantDeg := 300.0 / 90000 * math.Pi * 1600
+	if got := m.AvgDegree(); math.Abs(got-wantDeg) > 1e-9 {
+		t.Fatalf("degree = %v, want %v", got, wantDeg)
+	}
+	if !m.Connected() {
+		t.Fatal("comfortably dense field reported disconnected")
+	}
+	sparse := m
+	sparse.Range = 10
+	if sparse.Connected() {
+		t.Fatal("sparse field reported connected")
+	}
+	if (Model{N: 1}).Connected() != true {
+		t.Fatal("singleton should be connected")
+	}
+	if (Model{N: 10}).Density() != 0 {
+		t.Fatal("zero-side density should be 0")
+	}
+}
+
+func TestMeanGatewayDistanceSingleCentral(t *testing.T) {
+	// One gateway at the center of a unit square of side S: the mean
+	// distance from a uniform point to the center is S*0.3826 (classic
+	// integral).
+	m := Model{Side: 100, K: 1}
+	want := 100 * 0.3826
+	if got := m.MeanGatewayDistance(); math.Abs(got-want) > 1.0 {
+		t.Fatalf("mean distance = %v, want ~%v", got, want)
+	}
+	// More gateways shrink it across perfect-square counts (intermediate
+	// k can tick up slightly because the lattice is asymmetric).
+	prev := math.Inf(1)
+	for _, k := range []int{1, 4, 9, 16} {
+		mk := Model{Side: 100, K: k}
+		d := mk.MeanGatewayDistance()
+		if d >= prev {
+			t.Fatalf("mean distance not decreasing at k=%d: %v >= %v", k, d, prev)
+		}
+		prev = d
+	}
+	if (Model{Side: 100, K: 0}).MeanGatewayDistance() != 0 {
+		t.Fatal("k=0 distance should be 0")
+	}
+}
+
+// TestAvgHopsMatchesGraphMeasurement validates the model's headline output
+// against brute-force BFS over simulated deployments: within 20% across a
+// range of field shapes (the model is a design tool, not an oracle).
+func TestAvgHopsMatchesGraphMeasurement(t *testing.T) {
+	cases := []Model{
+		{N: 300, Side: 300, Range: 40, K: 1},
+		{N: 300, Side: 300, Range: 40, K: 3},
+		{N: 300, Side: 300, Range: 40, K: 6},
+		{N: 150, Side: 200, Range: 35, K: 2},
+		{N: 500, Side: 400, Range: 50, K: 4},
+	}
+	for _, m := range cases {
+		predicted := m.AvgHops()
+		var measured float64
+		const seeds = 5
+		for s := 0; s < seeds; s++ {
+			rng := rand.New(rand.NewSource(int64(100*m.K + s)))
+			region := geom.Square(m.Side)
+			sensors := (geom.Uniform{}).Deploy(m.N, region, rng)
+			gws := geom.PlaceGrid(m.K, region)
+			ev := placement.Evaluate(sensors, gws, m.Range)
+			measured += ev.AvgHops
+		}
+		measured /= seeds
+		if measured == 0 {
+			t.Fatalf("k=%d: nothing measured", m.K)
+		}
+		if rel := math.Abs(predicted-measured) / measured; rel > 0.20 {
+			t.Errorf("N=%d side=%.0f k=%d: predicted %.2f vs measured %.2f hops (%.0f%% off)",
+				m.N, m.Side, m.K, predicted, measured, rel*100)
+		}
+	}
+}
+
+func TestLoadsAndLifetime(t *testing.T) {
+	m := baseModel()
+	if m.TotalForwardingLoad() <= float64(m.N) {
+		t.Fatal("total load should exceed one transmission per sensor")
+	}
+	if m.GatewayNeighborhoodLoad() <= 0 {
+		t.Fatal("hotspot load should be positive")
+	}
+	// More gateways unload the hotspot.
+	many := m
+	many.K = 6
+	if many.GatewayNeighborhoodLoad() >= m.GatewayNeighborhoodLoad() {
+		t.Fatal("hotspot load did not drop with more gateways")
+	}
+	// Lifetime scales linearly with battery.
+	if r := m.Lifetime(2) / m.Lifetime(1); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("lifetime not linear in battery: ratio %v", r)
+	}
+	if !math.IsInf((Model{}).Lifetime(1), 1) {
+		t.Fatal("degenerate model lifetime should be +Inf")
+	}
+}
+
+func TestLifetimeGainSaturates(t *testing.T) {
+	m := baseModel()
+	g12 := m.LifetimeGain(1, 2)
+	g48 := m.LifetimeGain(4, 8)
+	if g12 <= 1 {
+		t.Fatalf("doubling gateways from 1 should gain: %v", g12)
+	}
+	if g48 >= g12 {
+		t.Fatalf("marginal gain should shrink (Kmax effect): gain(1->2)=%v gain(4->8)=%v", g12, g48)
+	}
+	if (Model{}).LifetimeGain(1, 2) != 1 {
+		t.Fatal("degenerate gain should be 1")
+	}
+}
+
+func TestAvgHopsFloor(t *testing.T) {
+	// Gateways everywhere: hops floor at 1.
+	m := Model{N: 100, Side: 50, Range: 100, K: 9}
+	if got := m.AvgHops(); got != 1 {
+		t.Fatalf("hops = %v, want floor 1", got)
+	}
+	if (Model{}).AvgHops() != 0 {
+		t.Fatal("zero-range hops should be 0")
+	}
+}

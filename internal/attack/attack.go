@@ -1,0 +1,398 @@
+// Package attack implements the network-layer adversaries the paper lists
+// (§2.3, citing Karlof & Wagner, and §6): spoofed/altered/replayed routing
+// information, selective forwarding, sinkhole, Sybil, wormholes, HELLO
+// floods and acknowledgment spoofing.
+//
+// Each attacker is a node.Stack (or a wrapper around a legitimate stack for
+// insider attacks) so that the same adversary can be dropped into an MLR or
+// a SecMLR network; experiment E9 runs the full matrix and reports which
+// attacks each protocol survives.
+package attack
+
+import (
+	"wmsn/internal/core"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Counters tracks what an attacker managed to do; the experiment harness
+// reads these alongside the victim network's core.Metrics.
+type Counters struct {
+	Captured uint64 // packets observed
+	Injected uint64 // packets put on the air by the attacker
+	Dropped  uint64 // packets the attacker swallowed instead of forwarding
+}
+
+// SelectiveForwarder is the insider grayhole: it participates in routing
+// normally (via the wrapped legitimate stack) but silently drops a fraction
+// of the DATA packets it should forward. DropProb 1.0 is the blackhole.
+type SelectiveForwarder struct {
+	Inner    node.Stack
+	DropProb float64
+	Counters Counters
+
+	dev *node.Device
+}
+
+// Start implements node.Stack.
+func (a *SelectiveForwarder) Start(dev *node.Device) {
+	a.dev = dev
+	a.Inner.Start(dev)
+}
+
+// HandleMessage implements node.Stack.
+func (a *SelectiveForwarder) HandleMessage(p *packet.Packet) {
+	if a.dev == nil {
+		return // not attached to a device yet
+	}
+	if p.Kind == packet.KindData && p.Origin != a.dev.ID() {
+		if a.DropProb >= 1 || a.dev.World().Kernel().Rand().Float64() < a.DropProb {
+			a.Counters.Dropped++
+			return
+		}
+	}
+	a.Inner.HandleMessage(p)
+}
+
+// Replayer captures packets of the configured kinds promiscuously and
+// re-injects each one verbatim after Delay. Against plain MLR the replayed
+// data is re-delivered (and double-counted upstream); against SecMLR the
+// gateway's counters reject it.
+type Replayer struct {
+	Kinds     map[packet.Kind]bool
+	Delay     sim.Duration
+	MaxCopies int
+	Counters  Counters
+
+	dev *node.Device
+}
+
+// NewReplayer builds a replayer for the given kinds (default: DATA only).
+func NewReplayer(delay sim.Duration, kinds ...packet.Kind) *Replayer {
+	r := &Replayer{Kinds: make(map[packet.Kind]bool), Delay: delay, MaxCopies: 1 << 30}
+	if len(kinds) == 0 {
+		kinds = []packet.Kind{packet.KindData}
+	}
+	for _, k := range kinds {
+		r.Kinds[k] = true
+	}
+	return r
+}
+
+// Start implements node.Stack. The device should be marked Promiscuous by
+// the scenario so unicast traffic is observable.
+func (a *Replayer) Start(dev *node.Device) {
+	a.dev = dev
+	dev.Promiscuous = true
+}
+
+// HandleMessage implements node.Stack.
+func (a *Replayer) HandleMessage(p *packet.Packet) {
+	if a.dev == nil {
+		return // not attached to a device yet
+	}
+	if !a.Kinds[p.Kind] || p.From == a.dev.ID() {
+		return
+	}
+	a.Counters.Captured++
+	if a.Counters.Injected >= uint64(a.MaxCopies) {
+		return
+	}
+	cp := p.Clone()
+	a.dev.After(a.Delay, func() {
+		if !a.dev.Alive() {
+			return
+		}
+		rep := cp.Clone()
+		rep.From = a.dev.ID() // link-layer sender is the attacker's radio
+		if a.dev.Send(rep) {
+			a.Counters.Injected++
+		}
+	})
+}
+
+// Sinkhole advertises irresistibly short routes and swallows the attracted
+// traffic: on overhearing an RREQ it immediately answers with a forged RRES
+// claiming the queried gateway is one hop behind the attacker. Plain MLR
+// sensors believe it (spoofed routing information); SecMLR sensors reject
+// the response for lack of a valid gateway MAC.
+type Sinkhole struct {
+	// FakeGateway is the gateway identity whose proximity is claimed.
+	FakeGateway packet.NodeID
+	// Place is the feasible-place index advertised.
+	Place    int
+	TTL      uint8
+	Counters Counters
+
+	dev *node.Device
+}
+
+// Start implements node.Stack.
+func (a *Sinkhole) Start(dev *node.Device) {
+	a.dev = dev
+	dev.Promiscuous = true
+}
+
+// HandleMessage implements node.Stack.
+func (a *Sinkhole) HandleMessage(p *packet.Packet) {
+	if a.dev == nil {
+		return // not attached to a device yet
+	}
+	switch p.Kind {
+	case packet.KindRReq:
+		a.Counters.Captured++
+		// Forge: <origin-path..., me, gateway> — a 1-hop-behind-me claim.
+		full := p.AppendHop(a.dev.ID())
+		full = append(full, a.FakeGateway)
+		res := &packet.Packet{
+			Kind:    packet.KindRRes,
+			From:    a.dev.ID(),
+			To:      p.From,
+			Origin:  a.FakeGateway,
+			Target:  p.Origin,
+			Seq:     p.Seq,
+			TTL:     a.TTL,
+			Path:    full,
+			Payload: core.EncodePlacePayload(a.Place, nil),
+		}
+		if a.dev.Send(res) {
+			a.Counters.Injected++
+		}
+	case packet.KindData:
+		// Attracted traffic disappears.
+		a.Counters.Dropped++
+	}
+}
+
+// HelloFlood models the long-range forged broadcast: a powerful transmitter
+// periodically floods forged NOTIFYs claiming a gateway moved to the
+// attacker's place, so distant plain-MLR sensors redirect data toward a
+// position where nothing listens. SecMLR sensors discard it (no valid TESLA
+// tag can be produced).
+type HelloFlood struct {
+	// Gateway is the impersonated gateway ID.
+	Gateway packet.NodeID
+	// Place is the place index falsely claimed.
+	Place int
+	// PrevPlace is the place falsely vacated (core.NoPlace for none).
+	PrevPlace int
+	// Range is the boosted transmission radius.
+	Range    float64
+	Interval sim.Duration
+	TTL      uint8
+	Counters Counters
+
+	dev *node.Device
+	seq uint32
+	rep *sim.Repeater
+}
+
+// Start implements node.Stack and begins flooding.
+func (a *HelloFlood) Start(dev *node.Device) {
+	a.dev = dev
+	a.flood()
+	a.rep = dev.World().Kernel().Every(a.Interval, a.flood)
+}
+
+// Stop halts the flood.
+func (a *HelloFlood) Stop() {
+	if a.rep != nil {
+		a.rep.Stop()
+	}
+}
+
+func (a *HelloFlood) flood() {
+	if !a.dev.Alive() {
+		return
+	}
+	a.seq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindNotify,
+		From:    a.dev.ID(),
+		To:      packet.Broadcast,
+		Origin:  a.Gateway, // spoofed
+		Target:  packet.Broadcast,
+		Seq:     0xFFFF0000 + a.seq, // avoid colliding with genuine seqs
+		TTL:     a.TTL,
+		Payload: core.EncodeNotifyPayload(a.Place, a.PrevPlace, 9999),
+	}
+	if a.dev.SendRange(pkt, a.Range) {
+		a.Counters.Injected++
+	}
+}
+
+// HandleMessage implements node.Stack.
+func (a *HelloFlood) HandleMessage(*packet.Packet) {}
+
+// Sybil originates data under many forged identities. A plain-MLR gateway
+// accepts the pollution as real sensor readings; a SecMLR gateway rejects
+// every identity it holds no key for.
+type Sybil struct {
+	Identities []packet.NodeID
+	// Gateway / Place address the forged data like a legitimate reading.
+	Gateway  packet.NodeID
+	Place    int
+	NextHop  packet.NodeID // first hop toward the gateway (Broadcast works too)
+	Interval sim.Duration
+	TTL      uint8
+	Counters Counters
+
+	dev *node.Device
+	seq uint32
+	rep *sim.Repeater
+}
+
+// Start implements node.Stack and begins injecting.
+func (a *Sybil) Start(dev *node.Device) {
+	a.dev = dev
+	a.rep = dev.World().Kernel().Every(a.Interval, a.inject)
+}
+
+// Stop halts injection.
+func (a *Sybil) Stop() {
+	if a.rep != nil {
+		a.rep.Stop()
+	}
+}
+
+func (a *Sybil) inject() {
+	if !a.dev.Alive() {
+		return
+	}
+	for _, id := range a.Identities {
+		a.seq++
+		pkt := &packet.Packet{
+			Kind:    packet.KindData,
+			From:    a.dev.ID(),
+			To:      a.NextHop,
+			Origin:  id, // forged
+			Target:  a.Gateway,
+			Seq:     a.seq,
+			TTL:     a.TTL,
+			Payload: core.EncodePlacePayload(a.Place, []byte("forged")),
+		}
+		if a.dev.Send(pkt) {
+			a.Counters.Injected++
+		}
+	}
+}
+
+// HandleMessage implements node.Stack.
+func (a *Sybil) HandleMessage(*packet.Packet) {}
+
+// Wormhole tunnels overheard control packets between two colluding radios
+// through an out-of-band channel, making distant parts of the network look
+// adjacent. Route discovery then prefers the wormhole's phantom shortcut;
+// data sent into it is dropped.
+type Wormhole struct {
+	Counters Counters
+	a, b     *wormholeEnd
+}
+
+type wormholeEnd struct {
+	w    *Wormhole
+	peer *wormholeEnd
+	dev  *node.Device
+}
+
+// NewWormhole creates the two cooperating endpoint stacks.
+func NewWormhole() (*Wormhole, node.Stack, node.Stack) {
+	w := &Wormhole{}
+	a := &wormholeEnd{w: w}
+	b := &wormholeEnd{w: w}
+	a.peer, b.peer = b, a
+	w.a, w.b = a, b
+	return w, a, b
+}
+
+// Start implements node.Stack.
+func (e *wormholeEnd) Start(dev *node.Device) {
+	e.dev = dev
+	dev.Promiscuous = true
+}
+
+// HandleMessage implements node.Stack.
+func (e *wormholeEnd) HandleMessage(p *packet.Packet) {
+	if e.dev == nil {
+		return // not attached to a device yet
+	}
+	switch p.Kind {
+	case packet.KindRReq, packet.KindRRes, packet.KindNotify:
+		e.w.Counters.Captured++
+		if e.peer.dev == nil || !e.peer.dev.Alive() {
+			return
+		}
+		// Tunnel instantly (out-of-band link) and replay at the far end,
+		// preserving the packet contents verbatim: the path now implies
+		// that nodes around end A are one hop from nodes around end B.
+		cp := p.Clone()
+		cp.From = e.peer.dev.ID()
+		if p.Kind == packet.KindRRes {
+			// Deliver the tunneled response straight to its final target,
+			// who is (by wormhole placement) near the far end.
+			cp.To = p.Target
+		}
+		peer := e.peer
+		e.dev.World().Kernel().After(sim.Microsecond, func() {
+			if peer.dev != nil && peer.dev.Alive() && peer.dev.Send(cp) {
+				e.w.Counters.Injected++
+			}
+		})
+	case packet.KindData:
+		// Data lured into the wormhole is swallowed.
+		e.w.Counters.Dropped++
+	}
+}
+
+// AckSpoofer forges gateway acknowledgments: an insider that participates
+// in routing (via the wrapped legitimate stack) but, instead of forwarding
+// DATA, drops it and immediately fakes the gateway's ACK so the source
+// believes the delivery succeeded. Plain MLR has no ACKs (the attack
+// degenerates to a blackhole); SecMLR rejects the forged ACK because it
+// cannot carry a valid MAC, and the source fails over.
+type AckSpoofer struct {
+	// Inner is the legitimate stack the attacker runs to stay on paths.
+	Inner    node.Stack
+	Counters Counters
+
+	dev *node.Device
+}
+
+// Start implements node.Stack.
+func (a *AckSpoofer) Start(dev *node.Device) {
+	a.dev = dev
+	if a.Inner != nil {
+		a.Inner.Start(dev)
+	}
+}
+
+// HandleMessage implements node.Stack.
+func (a *AckSpoofer) HandleMessage(p *packet.Packet) {
+	if a.dev == nil {
+		return // not attached to a device yet
+	}
+	if p.Kind != packet.KindData || p.To != a.dev.ID() || p.Origin == a.dev.ID() {
+		if a.Inner != nil {
+			a.Inner.HandleMessage(p)
+		}
+		return
+	}
+	a.Counters.Dropped++
+	// Forge an ACK from the claimed gateway straight back to the origin.
+	ack := &packet.Packet{
+		Kind:    packet.KindAck,
+		From:    a.dev.ID(),
+		To:      p.From,
+		Origin:  p.Target, // spoofed gateway identity
+		Target:  p.Origin,
+		Seq:     p.Seq,
+		TTL:     8,
+		Path:    []packet.NodeID{p.Target, a.dev.ID(), p.From, p.Origin},
+		Payload: []byte{0, 0, 0, 0},
+		Sec:     &packet.SecEnvelope{Counter: 1, Cipher: []byte{0, 0, 0, 0}, MAC: make([]byte, 32)},
+	}
+	if a.dev.Send(ack) {
+		a.Counters.Injected++
+	}
+}

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"testing"
+
+	"wmsn/internal/core"
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// diffusionLine builds a line of diffusion sensors with the sink at the
+// right end.
+func diffusionLine(t testing.TB, n int) (*node.World, *core.Metrics, map[packet.NodeID]*Diffusion, *DiffusionSink) {
+	t.Helper()
+	w := node.NewWorld(node.Config{Seed: 6})
+	m := core.NewMetrics()
+	stacks := map[packet.NodeID]*Diffusion{}
+	for i, pos := range line(n, 0, 10) {
+		id := packet.NodeID(i + 1)
+		st := NewDiffusion(m, 32)
+		stacks[id] = st
+		w.AddSensor(id, pos, 12, 0, st)
+	}
+	sink := NewDiffusionSink(m, 32)
+	w.AddGateway(1000, geom.Point{X: float64(n) * 10}, 12, 100, sink)
+	return w, m, stacks, sink
+}
+
+func TestDiffusionInterestPropagates(t *testing.T) {
+	w, m, stacks, sink := diffusionLine(t, 6)
+	sink.Subscribe(9)
+	w.Run(5 * sim.Second)
+	for id, st := range stacks {
+		if !st.HasGradient(9) {
+			t.Fatalf("node %v never got the interest", id)
+		}
+	}
+	if m.RReqSent == 0 {
+		t.Fatal("no interest flood traffic")
+	}
+}
+
+func TestDiffusionExploreReinforceDeliver(t *testing.T) {
+	w, m, stacks, sink := diffusionLine(t, 6)
+	sink.Subscribe(9)
+	w.Run(5 * sim.Second)
+
+	// First (exploratory) reading travels the gradients and triggers
+	// reinforcement.
+	stacks[1].OriginateData([]byte("sighting"))
+	w.Run(w.Kernel().Now() + 10*sim.Second)
+	if m.Delivered != 1 {
+		t.Fatalf("exploratory delivery failed: %d", m.Delivered)
+	}
+	// After reinforcement, the path back to the source is reinforced.
+	if !stacks[1].ReinforcedPath(9) {
+		t.Fatal("source never learned the reinforced path")
+	}
+	explBefore := sumExploratory(stacks)
+	// Subsequent readings unicast along the reinforced path only.
+	stacks[1].OriginateData([]byte("sighting-2"))
+	stacks[1].OriginateData([]byte("sighting-3"))
+	w.Run(w.Kernel().Now() + 10*sim.Second)
+	if m.Delivered != 3 {
+		t.Fatalf("reinforced delivery failed: %d", m.Delivered)
+	}
+	if got := sumExploratory(stacks); got != explBefore {
+		t.Fatalf("exploratory traffic continued after reinforcement: %d -> %d", explBefore, got)
+	}
+	if sumReinforced(stacks) == 0 {
+		t.Fatal("no reinforced-path transmissions recorded")
+	}
+}
+
+func sumExploratory(stacks map[packet.NodeID]*Diffusion) uint64 {
+	var total uint64
+	for _, st := range stacks {
+		total += st.Exploratory
+	}
+	return total
+}
+
+func sumReinforced(stacks map[packet.NodeID]*Diffusion) uint64 {
+	var total uint64
+	for _, st := range stacks {
+		total += st.Reinforced
+	}
+	return total
+}
+
+func TestDiffusionNoInterestNoDelivery(t *testing.T) {
+	w, m, stacks, _ := diffusionLine(t, 4)
+	// No Subscribe: sources have nowhere to send.
+	stacks[1].OriginateData([]byte("x"))
+	w.Run(5 * sim.Second)
+	if m.Delivered != 0 {
+		t.Fatal("delivered without an interest")
+	}
+	if m.DroppedNoRoute != 1 {
+		t.Fatalf("DroppedNoRoute = %d, want 1", m.DroppedNoRoute)
+	}
+}
+
+func TestDiffusionMultiPathExploreOnGrid(t *testing.T) {
+	// A 4x4 grid gives multiple disjoint paths: exploratory data should
+	// reach the sink exactly once per reading (duplicate suppression), and
+	// the reinforced phase must cut per-reading transmissions.
+	w := node.NewWorld(node.Config{Seed: 7})
+	m := core.NewMetrics()
+	stacks := map[packet.NodeID]*Diffusion{}
+	id := packet.NodeID(1)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			st := NewDiffusion(m, 32)
+			stacks[id] = st
+			w.AddSensor(id, geom.Point{X: float64(x) * 10, Y: float64(y) * 10}, 12, 0, st)
+			id++
+		}
+	}
+	sink := NewDiffusionSink(m, 32)
+	w.AddGateway(1000, geom.Point{X: 40, Y: 30}, 12, 100, sink)
+	sink.Subscribe(1)
+	w.Run(5 * sim.Second)
+
+	// Source at the far corner.
+	stacks[1].OriginateData([]byte("a"))
+	w.Run(w.Kernel().Now() + 10*sim.Second)
+	if m.Delivered != 1 || m.Duplicates != 0 {
+		t.Fatalf("delivered=%d dup=%d (suppression must dedup at the metrics layer too)",
+			m.Delivered, m.Duplicates)
+	}
+	exploCost := m.DataSent
+	stacks[1].OriginateData([]byte("b"))
+	w.Run(w.Kernel().Now() + 10*sim.Second)
+	reinforcedCost := m.DataSent - exploCost
+	if m.Delivered != 2 {
+		t.Fatalf("delivered=%d", m.Delivered)
+	}
+	if reinforcedCost >= exploCost {
+		t.Fatalf("reinforced phase (%d tx) not cheaper than exploratory (%d tx)",
+			reinforcedCost, exploCost)
+	}
+}

@@ -1,0 +1,306 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"math"
+
+	"wmsn/internal/core"
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// LEACH (§2.2.2 [17]) is the classic 2-level cluster hierarchy: in every
+// round each node elects itself cluster head with the rotating-threshold
+// rule; heads advertise, members join the nearest head and send their
+// readings to it in one hop; heads aggregate and transmit directly to the
+// sink. Because the head-to-sink hop is long, LEACH depends on the
+// first-order energy model's quadratic distance term to show its
+// characteristic behaviour — and its poor fit for large fields is exactly
+// the weakness the paper's multi-gateway architecture addresses.
+
+const (
+	leachAdvMarker byte = 'A'
+)
+
+// LEACH is the per-sensor stack.
+type LEACH struct {
+	Metrics *core.Metrics
+	// P is the desired cluster-head fraction per round (classically 0.05).
+	P float64
+	// SinkID/SinkPos locate the flat sink every head transmits to.
+	SinkID  packet.NodeID
+	SinkPos geom.Point
+	// ClusterRange is the head advertisement radius.
+	ClusterRange float64
+
+	dev    *node.Device
+	round  int
+	isCH   bool
+	lastCH int // round when this node last served as head; -1 never
+
+	haveCH bool
+	chID   packet.NodeID
+	chPos  geom.Point
+
+	buffer []aggEntry // head only: readings awaiting aggregation
+	seq    uint32
+}
+
+type aggEntry struct {
+	origin packet.NodeID
+	seq    uint32
+}
+
+// NewLEACH creates a LEACH sensor stack.
+func NewLEACH(m *core.Metrics, p float64, sink packet.NodeID, sinkPos geom.Point, clusterRange float64) *LEACH {
+	if p <= 0 || p >= 1 {
+		p = 0.05
+	}
+	return &LEACH{Metrics: m, P: p, SinkID: sink, SinkPos: sinkPos,
+		ClusterRange: clusterRange, lastCH: -1}
+}
+
+// Start implements node.Stack.
+func (l *LEACH) Start(dev *node.Device) { l.dev = dev }
+
+// IsClusterHead reports whether the node heads a cluster this round.
+func (l *LEACH) IsClusterHead() bool { return l.isCH }
+
+// threshold implements the LEACH election threshold T(n): nodes that served
+// as head within the last 1/P rounds are ineligible; the rest face a
+// probability that rises toward 1 as the epoch progresses, guaranteeing
+// every node leads exactly once per epoch in expectation.
+func (l *LEACH) threshold(round int) float64 {
+	epoch := int(math.Round(1 / l.P))
+	if epoch < 1 {
+		epoch = 1
+	}
+	if l.lastCH >= 0 && round-l.lastCH < epoch {
+		return 0
+	}
+	mod := float64(round % epoch)
+	den := 1 - l.P*mod
+	if den <= 0 {
+		return 1
+	}
+	return l.P / den
+}
+
+// beginRound runs the election and, for heads, the advertisement.
+func (l *LEACH) beginRound(round int) {
+	if l.dev == nil || !l.dev.Alive() {
+		return
+	}
+	// Flush any readings buffered as head of the previous round.
+	l.flush()
+	l.round = round
+	l.haveCH = false
+	l.isCH = l.dev.World().Kernel().Rand().Float64() < l.threshold(round)
+	if !l.isCH {
+		return
+	}
+	l.lastCH = round
+	pos := l.dev.Pos()
+	payload := make([]byte, 1, 17)
+	payload[0] = leachAdvMarker
+	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(pos.X))
+	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(pos.Y))
+	l.seq++
+	adv := &packet.Packet{
+		Kind:    packet.KindHello,
+		From:    l.dev.ID(),
+		To:      packet.Broadcast,
+		Origin:  l.dev.ID(),
+		Target:  packet.Broadcast,
+		Seq:     l.seq,
+		TTL:     1,
+		Payload: payload,
+	}
+	if l.dev.SendRange(adv, l.ClusterRange) {
+		l.Metrics.NotifySent++ // advertisement counted as control traffic
+	}
+}
+
+// flush aggregates buffered readings into one long-hop packet to the sink.
+func (l *LEACH) flush() {
+	if len(l.buffer) == 0 || l.dev == nil || !l.dev.Alive() {
+		l.buffer = nil
+		return
+	}
+	payload := binary.BigEndian.AppendUint16(nil, uint16(len(l.buffer)))
+	for _, e := range l.buffer {
+		payload = binary.BigEndian.AppendUint32(payload, uint32(e.origin))
+		payload = binary.BigEndian.AppendUint32(payload, e.seq)
+	}
+	l.buffer = nil
+	l.seq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindData,
+		From:    l.dev.ID(),
+		To:      l.SinkID,
+		Origin:  l.dev.ID(),
+		Target:  l.SinkID,
+		Seq:     l.seq,
+		TTL:     1,
+		Hops:    1, // member -> head
+		Payload: payload,
+	}
+	dist := l.dev.Pos().Dist(l.SinkPos)
+	if l.dev.SendRange(pkt, dist*1.01) {
+		l.Metrics.DataSent++
+	}
+}
+
+// OriginateData queues one reading: heads buffer it locally, members send it
+// to their head, clusterless nodes fall back to a direct sink transmission.
+func (l *LEACH) OriginateData(payload []byte) {
+	if l.dev == nil || !l.dev.Alive() {
+		return
+	}
+	l.seq++
+	l.Metrics.RecordGenerated(l.dev.ID(), l.seq, l.dev.Now())
+	switch {
+	case l.isCH:
+		l.buffer = append(l.buffer, aggEntry{l.dev.ID(), l.seq})
+	case l.haveCH:
+		pkt := &packet.Packet{
+			Kind:   packet.KindData,
+			From:   l.dev.ID(),
+			To:     l.chID,
+			Origin: l.dev.ID(),
+			Target: l.chID,
+			Seq:    l.seq,
+			TTL:    1,
+		}
+		dist := l.dev.Pos().Dist(l.chPos)
+		if l.dev.SendRange(pkt, dist*1.01) {
+			l.Metrics.DataSent++
+		}
+	default:
+		// Clusterless: direct to sink.
+		pkt := &packet.Packet{
+			Kind:    packet.KindData,
+			From:    l.dev.ID(),
+			To:      l.SinkID,
+			Origin:  l.dev.ID(),
+			Target:  l.SinkID,
+			Seq:     l.seq,
+			TTL:     1,
+			Payload: leachSingleton(l.dev.ID(), l.seq),
+		}
+		dist := l.dev.Pos().Dist(l.SinkPos)
+		if l.dev.SendRange(pkt, dist*1.01) {
+			l.Metrics.DataSent++
+		}
+	}
+}
+
+func leachSingleton(origin packet.NodeID, seq uint32) []byte {
+	payload := binary.BigEndian.AppendUint16(nil, 1)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(origin))
+	return binary.BigEndian.AppendUint32(payload, seq)
+}
+
+// HandleMessage implements node.Stack.
+func (l *LEACH) HandleMessage(pkt *packet.Packet) {
+	if l.dev == nil {
+		return // not attached to a device yet
+	}
+	switch pkt.Kind {
+	case packet.KindHello:
+		if len(pkt.Payload) < 17 || pkt.Payload[0] != leachAdvMarker || l.isCH {
+			return
+		}
+		pos := geom.Point{
+			X: math.Float64frombits(binary.BigEndian.Uint64(pkt.Payload[1:])),
+			Y: math.Float64frombits(binary.BigEndian.Uint64(pkt.Payload[9:])),
+		}
+		d := l.dev.Pos().Dist(pos)
+		if !l.haveCH || d < l.dev.Pos().Dist(l.chPos) {
+			l.haveCH = true
+			l.chID = pkt.Origin
+			l.chPos = pos
+		}
+	case packet.KindData:
+		if !l.isCH || pkt.Target != l.dev.ID() {
+			return
+		}
+		l.buffer = append(l.buffer, aggEntry{pkt.Origin, pkt.Seq})
+	}
+}
+
+// LEACHSink absorbs aggregated packets and credits each constituent reading.
+type LEACHSink struct {
+	Metrics *core.Metrics
+
+	dev *node.Device
+}
+
+// NewLEACHSink creates the sink stack.
+func NewLEACHSink(m *core.Metrics) *LEACHSink { return &LEACHSink{Metrics: m} }
+
+// Start implements node.Stack.
+func (s *LEACHSink) Start(dev *node.Device) { s.dev = dev }
+
+// HandleMessage implements node.Stack.
+func (s *LEACHSink) HandleMessage(pkt *packet.Packet) {
+	if s.dev == nil {
+		return // not attached to a device yet
+	}
+	if pkt.Kind != packet.KindData || pkt.Target != s.dev.ID() {
+		return
+	}
+	if len(pkt.Payload) < 2 {
+		return
+	}
+	n := int(binary.BigEndian.Uint16(pkt.Payload))
+	off := 2
+	for i := 0; i < n && off+8 <= len(pkt.Payload); i++ {
+		origin := packet.NodeID(binary.BigEndian.Uint32(pkt.Payload[off:]))
+		seq := binary.BigEndian.Uint32(pkt.Payload[off+4:])
+		s.Metrics.RecordDelivered(origin, seq, s.dev.ID(), int(pkt.Hops)+1, s.dev.Now())
+		off += 8
+	}
+}
+
+// LEACHRounds drives the cluster rotation: it calls beginRound on every
+// stack at each round boundary (a final flush happens inside beginRound).
+type LEACHRounds struct {
+	World    *node.World
+	Stacks   []*LEACH
+	RoundLen sim.Duration
+
+	round   int
+	stopped bool
+}
+
+// Start begins round 0 immediately.
+func (r *LEACHRounds) Start() {
+	r.apply()
+	r.schedule()
+}
+
+// Stop halts rotation.
+func (r *LEACHRounds) Stop() { r.stopped = true }
+
+// Round returns the current round index.
+func (r *LEACHRounds) Round() int { return r.round }
+
+func (r *LEACHRounds) schedule() {
+	r.World.Kernel().After(r.RoundLen, func() {
+		if r.stopped {
+			return
+		}
+		r.round++
+		r.apply()
+		r.schedule()
+	})
+}
+
+func (r *LEACHRounds) apply() {
+	for _, st := range r.Stacks {
+		st.beginRound(r.round)
+	}
+}

@@ -1,0 +1,311 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"math"
+
+	"wmsn/internal/core"
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// PEGASIS (§2.2.2 [25]) improves on LEACH by organizing all nodes into a
+// single greedy chain: each node communicates only with its chain
+// neighbors, readings are fused as a token travels the chain, and a
+// rotating leader makes the one long transmission to the sink per round.
+//
+// The chain is built greedily starting from the node farthest from the
+// sink (the classic construction); each round the token starts at both
+// chain ends, accumulates every node's buffered readings hop by hop, and
+// the leader — rotating by round index so the long-hop cost is shared —
+// concatenates the two halves and transmits the aggregate to the sink.
+
+const (
+	pegasisTokenMarker byte = 'T'
+)
+
+// PEGASIS is the per-node stack. All nodes of a chain share one *Chain.
+type PEGASIS struct {
+	Metrics *core.Metrics
+	Chain   *PegasisChain
+
+	dev    *node.Device
+	buffer []aggEntry
+	seq    uint32
+
+	// collected counts token halves received while this node leads.
+	collected int
+	pending   []aggEntry
+}
+
+// PegasisChain is the shared chain structure and round state.
+type PegasisChain struct {
+	SinkID  packet.NodeID
+	SinkPos geom.Point
+
+	order  []packet.NodeID // chain order, end to end
+	index  map[packet.NodeID]int
+	stacks map[packet.NodeID]*PEGASIS
+	round  int
+}
+
+// NewPegasisChain builds the greedy chain over the given node positions:
+// start from the node farthest from the sink, repeatedly append the nearest
+// unvisited node.
+func NewPegasisChain(sink packet.NodeID, sinkPos geom.Point, pos map[packet.NodeID]geom.Point) *PegasisChain {
+	c := &PegasisChain{
+		SinkID: sink, SinkPos: sinkPos,
+		index:  make(map[packet.NodeID]int, len(pos)),
+		stacks: make(map[packet.NodeID]*PEGASIS, len(pos)),
+	}
+	if len(pos) == 0 {
+		return c
+	}
+	remaining := make(map[packet.NodeID]geom.Point, len(pos))
+	for id, p := range pos {
+		remaining[id] = p
+	}
+	// Farthest from sink starts the chain; ties break to the smallest ID
+	// for determinism.
+	cur, curD := packet.None, -1.0
+	for id, p := range remaining {
+		d := p.Dist(sinkPos)
+		if d > curD || (d == curD && id < cur) {
+			cur, curD = id, d
+		}
+	}
+	for len(remaining) > 0 {
+		c.index[cur] = len(c.order)
+		c.order = append(c.order, cur)
+		curPos := remaining[cur]
+		delete(remaining, cur)
+		next, nextD := packet.None, math.Inf(1)
+		for id, p := range remaining {
+			d := p.Dist(curPos)
+			if d < nextD || (d == nextD && id < next) {
+				next, nextD = id, d
+			}
+		}
+		cur = next
+	}
+	return c
+}
+
+// Order returns the chain order.
+func (c *PegasisChain) Order() []packet.NodeID { return append([]packet.NodeID(nil), c.order...) }
+
+// Leader returns this round's leader (rotates by round index).
+func (c *PegasisChain) Leader() packet.NodeID {
+	if len(c.order) == 0 {
+		return packet.None
+	}
+	return c.order[c.round%len(c.order)]
+}
+
+// NewPEGASIS creates the stack for one chain member.
+func NewPEGASIS(m *core.Metrics, chain *PegasisChain) *PEGASIS {
+	return &PEGASIS{Metrics: m, Chain: chain}
+}
+
+// Start implements node.Stack.
+func (p *PEGASIS) Start(dev *node.Device) {
+	p.dev = dev
+	p.Chain.stacks[dev.ID()] = p
+}
+
+// OriginateData buffers one reading for the next chain round.
+func (p *PEGASIS) OriginateData(payload []byte) {
+	if p.dev == nil || !p.dev.Alive() {
+		return
+	}
+	p.seq++
+	p.Metrics.RecordGenerated(p.dev.ID(), p.seq, p.dev.Now())
+	p.buffer = append(p.buffer, aggEntry{p.dev.ID(), p.seq})
+}
+
+// BeginRound advances the leader and launches the two token halves from the
+// chain ends. Call it periodically (PegasisRounds does). Any sweep still in
+// flight is abandoned: its readings stay buffered at whichever node holds
+// them and ride the next token.
+func (c *PegasisChain) BeginRound() {
+	for _, st := range c.stacks {
+		if st.collected > 0 || len(st.pending) > 0 {
+			st.buffer = append(st.buffer, st.pending...)
+			st.pending = nil
+			st.collected = 0
+		}
+	}
+	c.round++
+	leader := c.Leader()
+	li := c.index[leader]
+	// Left half: end 0 toward leader; right half: last end toward leader.
+	// A chain end that *is* the leader contributes an empty half.
+	if li > 0 {
+		c.launchToken(c.order[0], +1)
+	} else {
+		c.halfArrived(leader, nil)
+	}
+	if li < len(c.order)-1 {
+		c.launchToken(c.order[len(c.order)-1], -1)
+	} else {
+		c.halfArrived(leader, nil)
+	}
+}
+
+// launchToken starts a token at the given chain end moving in direction dir.
+func (c *PegasisChain) launchToken(end packet.NodeID, dir int) {
+	st := c.stacks[end]
+	if st == nil || st.dev == nil || !st.dev.Alive() {
+		// Dead chain end: skip inward until a living node starts the token.
+		idx := c.index[end] + dir
+		for idx >= 0 && idx < len(c.order) {
+			if s2 := c.stacks[c.order[idx]]; s2 != nil && s2.dev != nil && s2.dev.Alive() {
+				c.launchToken(c.order[idx], dir)
+				return
+			}
+			idx += dir
+		}
+		c.halfArrived(c.Leader(), nil)
+		return
+	}
+	st.forwardToken(st.buffer, dir)
+	st.buffer = nil
+}
+
+// forwardToken sends entries to the next living chain neighbor toward the
+// leader, or hands them to the leader logic when this node leads.
+func (p *PEGASIS) forwardToken(entries []aggEntry, dir int) {
+	c := p.Chain
+	if p.dev.ID() == c.Leader() {
+		c.halfArrived(p.dev.ID(), entries)
+		return
+	}
+	idx := c.index[p.dev.ID()] + dir
+	for idx >= 0 && idx < len(c.order) {
+		nxt := c.stacks[c.order[idx]]
+		if nxt != nil && nxt.dev != nil && nxt.dev.Alive() {
+			break
+		}
+		idx += dir
+	}
+	if idx < 0 || idx >= len(c.order) {
+		return // no living node toward the leader; half is lost
+	}
+	target := c.order[idx]
+	payload := make([]byte, 0, 2+len(entries)*8)
+	payload = append(payload, pegasisTokenMarker, byte(dir+1))
+	payload = binary.BigEndian.AppendUint16(payload, uint16(len(entries)))
+	for _, e := range entries {
+		payload = binary.BigEndian.AppendUint32(payload, uint32(e.origin))
+		payload = binary.BigEndian.AppendUint32(payload, e.seq)
+	}
+	p.seq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindData,
+		From:    p.dev.ID(),
+		To:      target,
+		Origin:  p.dev.ID(),
+		Target:  target,
+		Seq:     p.seq,
+		TTL:     1,
+		Payload: payload,
+	}
+	dist := p.dev.Pos().Dist(p.dev.World().Device(target).Pos())
+	if p.dev.SendRange(pkt, dist*1.01) {
+		p.Metrics.DataSent++
+	}
+}
+
+// halfArrived accumulates a token half at the leader; when both halves are
+// in, the leader adds its own buffer and transmits the aggregate to the
+// sink.
+func (c *PegasisChain) halfArrived(leader packet.NodeID, entries []aggEntry) {
+	st := c.stacks[leader]
+	if st == nil || st.dev == nil || !st.dev.Alive() {
+		return
+	}
+	st.pending = append(st.pending, entries...)
+	st.collected++
+	if st.collected < 2 {
+		return
+	}
+	st.collected = 0
+	all := append(st.pending, st.buffer...)
+	st.pending, st.buffer = nil, nil
+	if len(all) == 0 {
+		return
+	}
+	payload := binary.BigEndian.AppendUint16(nil, uint16(len(all)))
+	for _, e := range all {
+		payload = binary.BigEndian.AppendUint32(payload, uint32(e.origin))
+		payload = binary.BigEndian.AppendUint32(payload, e.seq)
+	}
+	st.seq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindData,
+		From:    st.dev.ID(),
+		To:      c.SinkID,
+		Origin:  st.dev.ID(),
+		Target:  c.SinkID,
+		Seq:     st.seq,
+		TTL:     1,
+		Hops:    1,
+		Payload: payload,
+	}
+	dist := st.dev.Pos().Dist(c.SinkPos)
+	if st.dev.SendRange(pkt, dist*1.01) {
+		st.Metrics.DataSent++
+	}
+}
+
+// HandleMessage implements node.Stack: chain tokens hop node to node.
+func (p *PEGASIS) HandleMessage(pkt *packet.Packet) {
+	if p.dev == nil || pkt.Kind != packet.KindData || pkt.Target != p.dev.ID() {
+		return
+	}
+	if len(pkt.Payload) < 4 || pkt.Payload[0] != pegasisTokenMarker {
+		return
+	}
+	dir := int(pkt.Payload[1]) - 1
+	n := int(binary.BigEndian.Uint16(pkt.Payload[2:]))
+	entries := make([]aggEntry, 0, n+len(p.buffer))
+	off := 4
+	for i := 0; i < n && off+8 <= len(pkt.Payload); i++ {
+		entries = append(entries, aggEntry{
+			origin: packet.NodeID(binary.BigEndian.Uint32(pkt.Payload[off:])),
+			seq:    binary.BigEndian.Uint32(pkt.Payload[off+4:]),
+		})
+		off += 8
+	}
+	// Fuse own buffered readings into the token and pass it on.
+	entries = append(entries, p.buffer...)
+	p.buffer = nil
+	p.forwardToken(entries, dir)
+}
+
+// PegasisRounds drives the chain: one token sweep per round.
+type PegasisRounds struct {
+	World    *node.World
+	Chain    *PegasisChain
+	RoundLen sim.Duration
+
+	stopped bool
+}
+
+// Start schedules the first sweep one round from now.
+func (r *PegasisRounds) Start() {
+	r.World.Kernel().After(r.RoundLen, r.tick)
+}
+
+// Stop halts future sweeps.
+func (r *PegasisRounds) Stop() { r.stopped = true }
+
+func (r *PegasisRounds) tick() {
+	if r.stopped {
+		return
+	}
+	r.Chain.BeginRound()
+	r.World.Kernel().After(r.RoundLen, r.tick)
+}

@@ -1,0 +1,214 @@
+package baseline
+
+import (
+	"encoding/binary"
+
+	"wmsn/internal/core"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+)
+
+// Rumor routing (§2.2.1 [23]) avoids flooding in both directions: nodes
+// that witness an event launch *agents* — long-lived packets that random-
+// walk the network leaving a gradient (distance + next hop) toward the
+// event at every node they visit. Queries for the event also random-walk,
+// but the moment one crosses a node holding agent state it stops wandering
+// and follows the gradient straight to a witness. Two random lines in a
+// plane intersect with high probability, so most queries find the event
+// path after a short walk — at a tiny fraction of flooding's cost.
+//
+// Delivery semantics: a query is "delivered" when it reaches an event
+// witness; core.Metrics counts queries as Generated and answered queries
+// as Delivered (the witness is the per-query gateway).
+
+const (
+	rumorAgentMarker byte = 'G'
+	rumorQueryMarker byte = 'U'
+)
+
+// EventID identifies an observed event.
+type EventID uint32
+
+type rumorEntry struct {
+	dist int           // hops to the nearest known witness
+	next packet.NodeID // neighbor toward it
+}
+
+// RumorNode is the per-sensor stack.
+type RumorNode struct {
+	Metrics *core.Metrics
+	// AgentsPerEvent is how many agents a witness launches.
+	AgentsPerEvent int
+	// AgentTTL / QueryTTL bound the random walks.
+	AgentTTL, QueryTTL uint8
+
+	dev    *node.Device
+	events map[EventID]rumorEntry
+	seen   map[uint64]struct{} // dedup for agents and queries
+	seq    uint32
+
+	// AgentHops / QueryHops count transmissions for overhead analysis.
+	AgentHops, QueryHops uint64
+}
+
+// NewRumorNode creates a stack with classic parameters.
+func NewRumorNode(m *core.Metrics) *RumorNode {
+	return &RumorNode{
+		Metrics: m, AgentsPerEvent: 2, AgentTTL: 40, QueryTTL: 40,
+		events: make(map[EventID]rumorEntry),
+		seen:   make(map[uint64]struct{}),
+	}
+}
+
+// Start implements node.Stack.
+func (r *RumorNode) Start(dev *node.Device) { r.dev = dev }
+
+// Knows reports whether the node holds gradient state for the event.
+func (r *RumorNode) Knows(ev EventID) bool {
+	_, ok := r.events[ev]
+	return ok
+}
+
+// WitnessEvent registers this node as a witness and launches agents.
+func (r *RumorNode) WitnessEvent(ev EventID) {
+	if r.dev == nil || !r.dev.Alive() {
+		return
+	}
+	r.events[ev] = rumorEntry{dist: 0, next: r.dev.ID()}
+	for i := 0; i < r.AgentsPerEvent; i++ {
+		r.seq++
+		r.sendWalk(rumorAgentMarker, ev, r.seq, r.AgentTTL, 0, packet.None)
+	}
+}
+
+// Query launches a random-walk query for the event. The result is recorded
+// in Metrics (Generated now, Delivered when a witness is reached).
+func (r *RumorNode) Query(ev EventID) {
+	if r.dev == nil || !r.dev.Alive() {
+		return
+	}
+	r.seq++
+	r.Metrics.RecordGenerated(r.dev.ID(), r.seq, r.dev.Now())
+	if e, ok := r.events[ev]; ok && e.dist == 0 {
+		// We are a witness ourselves.
+		r.Metrics.RecordDelivered(r.dev.ID(), r.seq, r.dev.ID(), 0, r.dev.Now())
+		return
+	}
+	r.forwardQuery(ev, r.dev.ID(), r.seq, r.QueryTTL, 0, packet.None)
+}
+
+// sendWalk emits one random-walk packet (agent), avoiding the node it just
+// came from when possible.
+func (r *RumorNode) sendWalk(marker byte, ev EventID, seq uint32, ttl uint8, dist int, avoid packet.NodeID) {
+	next := r.pickNeighbor(avoid)
+	if next == packet.None {
+		return
+	}
+	payload := make([]byte, 7)
+	payload[0] = marker
+	binary.BigEndian.PutUint32(payload[1:], uint32(ev))
+	binary.BigEndian.PutUint16(payload[5:], uint16(dist))
+	pkt := &packet.Packet{
+		Kind:    packet.KindData,
+		From:    r.dev.ID(),
+		To:      next,
+		Origin:  r.dev.ID(),
+		Target:  next,
+		Seq:     seq,
+		TTL:     ttl,
+		Payload: payload,
+	}
+	if r.dev.Send(pkt) {
+		r.AgentHops++
+	}
+}
+
+// forwardQuery either follows an existing gradient or keeps random-walking.
+// origin/seq identify the query end to end for metrics.
+func (r *RumorNode) forwardQuery(ev EventID, origin packet.NodeID, seq uint32, ttl uint8, hops int, avoid packet.NodeID) {
+	var to packet.NodeID
+	if e, ok := r.events[ev]; ok && e.next != r.dev.ID() {
+		to = e.next // on the rumor path: descend the gradient
+	} else {
+		to = r.pickNeighbor(avoid)
+	}
+	if to == packet.None || ttl == 0 {
+		return
+	}
+	payload := make([]byte, 15)
+	payload[0] = rumorQueryMarker
+	binary.BigEndian.PutUint32(payload[1:], uint32(ev))
+	binary.BigEndian.PutUint32(payload[5:], uint32(origin))
+	binary.BigEndian.PutUint32(payload[9:], seq)
+	binary.BigEndian.PutUint16(payload[13:], uint16(hops))
+	pkt := &packet.Packet{
+		Kind:    packet.KindData,
+		From:    r.dev.ID(),
+		To:      to,
+		Origin:  origin,
+		Target:  to,
+		Seq:     seq,
+		TTL:     ttl,
+		Payload: payload,
+	}
+	if r.dev.Send(pkt) {
+		r.QueryHops++
+	}
+}
+
+// pickNeighbor selects a random neighbor, preferring not to backtrack.
+func (r *RumorNode) pickNeighbor(avoid packet.NodeID) packet.NodeID {
+	nbrs := r.dev.SensorNeighbors()
+	if len(nbrs) == 0 {
+		return packet.None
+	}
+	rng := r.dev.World().Kernel().Rand()
+	if len(nbrs) > 1 && avoid != packet.None {
+		filtered := nbrs[:0:0]
+		for _, id := range nbrs {
+			if id != avoid {
+				filtered = append(filtered, id)
+			}
+		}
+		if len(filtered) > 0 {
+			nbrs = filtered
+		}
+	}
+	return nbrs[rng.Intn(len(nbrs))]
+}
+
+// HandleMessage implements node.Stack.
+func (r *RumorNode) HandleMessage(pkt *packet.Packet) {
+	if r.dev == nil || pkt.Kind != packet.KindData || pkt.Target != r.dev.ID() || len(pkt.Payload) < 7 {
+		return
+	}
+	switch pkt.Payload[0] {
+	case rumorAgentMarker:
+		ev := EventID(binary.BigEndian.Uint32(pkt.Payload[1:]))
+		dist := int(binary.BigEndian.Uint16(pkt.Payload[5:])) + 1
+		// Record/refresh the gradient: the agent came FROM the direction of
+		// the event, so pkt.From is the next hop toward it.
+		if e, ok := r.events[ev]; !ok || dist < e.dist {
+			r.events[ev] = rumorEntry{dist: dist, next: pkt.From}
+		}
+		if pkt.TTL > 1 {
+			r.sendWalk(rumorAgentMarker, ev, pkt.Seq, pkt.TTL-1, dist, pkt.From)
+		}
+	case rumorQueryMarker:
+		if len(pkt.Payload) < 15 {
+			return
+		}
+		ev := EventID(binary.BigEndian.Uint32(pkt.Payload[1:]))
+		origin := packet.NodeID(binary.BigEndian.Uint32(pkt.Payload[5:]))
+		seq := binary.BigEndian.Uint32(pkt.Payload[9:])
+		hops := int(binary.BigEndian.Uint16(pkt.Payload[13:])) + 1
+		if e, ok := r.events[ev]; ok && e.dist == 0 {
+			// Witness reached: the query is answered.
+			r.Metrics.RecordDelivered(origin, seq, r.dev.ID(), hops, r.dev.Now())
+			return
+		}
+		if pkt.TTL > 1 {
+			r.forwardQuery(ev, origin, seq, pkt.TTL-1, hops, pkt.From)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"testing"
+
+	"wmsn/internal/core"
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// rumorWorld deploys n rumor-routing sensors uniformly on a side x side
+// field.
+func rumorWorld(t testing.TB, seed int64, n int, side float64) (*node.World, *core.Metrics, map[packet.NodeID]*RumorNode) {
+	t.Helper()
+	w := node.NewWorld(node.Config{Seed: seed})
+	m := core.NewMetrics()
+	stacks := map[packet.NodeID]*RumorNode{}
+	pts := (geom.Uniform{}).Deploy(n, geom.Square(side), w.Kernel().Rand())
+	for i, p := range pts {
+		id := packet.NodeID(i + 1)
+		st := NewRumorNode(m)
+		stacks[id] = st
+		w.AddSensor(id, p, 40, 0, st)
+	}
+	return w, m, stacks
+}
+
+func TestRumorAgentsLayGradient(t *testing.T) {
+	w, _, stacks := rumorWorld(t, 1, 80, 200)
+	stacks[1].WitnessEvent(7)
+	w.Run(10 * sim.Second)
+	// Agents walked AgentTTL hops each; a good number of nodes should now
+	// hold gradient state for the event.
+	knowing := 0
+	for _, st := range stacks {
+		if st.Knows(7) {
+			knowing++
+		}
+	}
+	if knowing < 10 {
+		t.Fatalf("only %d nodes learned the rumor path", knowing)
+	}
+	// Gradient validity: following next pointers from any knowing node
+	// reaches the witness without cycling.
+	for id, st := range stacks {
+		if !st.Knows(7) || id == 1 {
+			continue
+		}
+		cur := id
+		for hops := 0; hops < 200; hops++ {
+			e := stacks[cur].events[7]
+			if e.dist == 0 {
+				break
+			}
+			nxt := e.next
+			if _, ok := stacks[nxt]; !ok {
+				t.Fatalf("gradient from %v points at unknown node %v", id, nxt)
+			}
+			cur = nxt
+			if hops == 199 {
+				t.Fatalf("gradient from %v never terminates", id)
+			}
+		}
+	}
+}
+
+func TestRumorQueriesFindEvent(t *testing.T) {
+	w, m, stacks := rumorWorld(t, 2, 100, 220)
+	stacks[1].WitnessEvent(42)
+	w.Run(10 * sim.Second) // let agents walk
+	// Issue queries from many distant nodes; rumor routing should answer a
+	// solid majority (two random walks in a plane usually intersect).
+	queries := 0
+	for id, st := range stacks {
+		if id%4 == 0 {
+			st.Query(42)
+			queries++
+		}
+	}
+	w.Run(60 * sim.Second)
+	if m.Generated != uint64(queries) {
+		t.Fatalf("generated %d, want %d", m.Generated, queries)
+	}
+	if ratio := m.DeliveryRatio(); ratio < 0.6 {
+		t.Fatalf("query success %v (%d of %d); rumor intersection failing",
+			ratio, m.Delivered, m.Generated)
+	}
+	// Overhead: total walk transmissions must be far below a per-query
+	// network flood (queries * n).
+	var walkTx uint64
+	for _, st := range stacks {
+		walkTx += st.AgentHops + st.QueryHops
+	}
+	if walkTx > uint64(queries)*100/2 {
+		t.Fatalf("rumor routing cost %d transmissions; flooding-level overhead", walkTx)
+	}
+}
+
+func TestRumorSelfQueryAnswersImmediately(t *testing.T) {
+	w, m, stacks := rumorWorld(t, 3, 10, 100)
+	stacks[5].WitnessEvent(1)
+	stacks[5].Query(1)
+	w.Run(sim.Second)
+	if m.Delivered != 1 || m.MeanHops() != 0 {
+		t.Fatalf("self query: delivered=%d hops=%v", m.Delivered, m.MeanHops())
+	}
+}
+
+func TestRumorUnknownEventQueryDies(t *testing.T) {
+	w, m, stacks := rumorWorld(t, 4, 40, 200)
+	// No witness anywhere: queries wander and expire.
+	stacks[1].Query(99)
+	w.Run(30 * sim.Second)
+	if m.Delivered != 0 {
+		t.Fatal("query answered for an event nobody witnessed")
+	}
+	if m.Generated != 1 {
+		t.Fatalf("generated = %d", m.Generated)
+	}
+}
+
+func TestRumorIsolatedWitness(t *testing.T) {
+	w := node.NewWorld(node.Config{Seed: 5})
+	m := core.NewMetrics()
+	st := NewRumorNode(m)
+	w.AddSensor(1, geom.Point{}, 40, 0, st)
+	st.WitnessEvent(3) // no neighbors: agents go nowhere, no panic
+	w.Run(sim.Second)
+	if !st.Knows(3) {
+		t.Fatal("witness lost its own event state")
+	}
+}

@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"encoding/binary"
+
+	"wmsn/internal/core"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+)
+
+// SPIN (§2.2.1 [20,21]) replaces blind flooding with three-way meta-data
+// negotiation: a node holding new data ADVertises a small descriptor;
+// neighbors that have not seen the data REQuest it; only then is the
+// full DATA transmitted. The handshake costs two extra small packets per
+// link but avoids retransmitting large payloads to nodes that already hold
+// them — curing flooding's implosion for data much bigger than its
+// descriptor.
+//
+// Wire mapping: ADV rides a HELLO with marker 'V', REQ rides an ACK with
+// marker 'Q', DATA is a DATA packet. Descriptors are (origin, seq).
+
+const (
+	spinAdvMarker byte = 'V'
+	spinReqMarker byte = 'Q'
+)
+
+func spinMeta(origin packet.NodeID, seq uint32) []byte {
+	buf := make([]byte, 9)
+	buf[0] = spinAdvMarker
+	binary.BigEndian.PutUint32(buf[1:], uint32(origin))
+	binary.BigEndian.PutUint32(buf[5:], seq)
+	return buf
+}
+
+func parseSpinMeta(b []byte) (origin packet.NodeID, seq uint32, ok bool) {
+	if len(b) < 9 {
+		return 0, 0, false
+	}
+	return packet.NodeID(binary.BigEndian.Uint32(b[1:])), binary.BigEndian.Uint32(b[5:]), true
+}
+
+// SPIN is the per-sensor stack. The sink side is SPINSink.
+type SPIN struct {
+	Metrics *core.Metrics
+	// Advs/Reqs/Datas count the three message classes for the
+	// negotiation-efficiency analysis.
+	Advs, Reqs, Datas uint64
+
+	dev  *node.Device
+	seq  uint32
+	have map[uint64][]byte // descriptors we hold -> payload
+}
+
+// NewSPIN creates a SPIN sensor stack.
+func NewSPIN(m *core.Metrics) *SPIN {
+	return &SPIN{Metrics: m, have: make(map[uint64][]byte)}
+}
+
+// Start implements node.Stack.
+func (s *SPIN) Start(dev *node.Device) { s.dev = dev }
+
+// OriginateData injects a new reading and advertises it.
+func (s *SPIN) OriginateData(payload []byte) {
+	if s.dev == nil || !s.dev.Alive() {
+		return
+	}
+	s.seq++
+	s.Metrics.RecordGenerated(s.dev.ID(), s.seq, s.dev.Now())
+	s.have[floodKey64(s.dev.ID(), s.seq)] = append([]byte(nil), payload...)
+	s.advertise(s.dev.ID(), s.seq)
+}
+
+func (s *SPIN) advertise(origin packet.NodeID, seq uint32) {
+	adv := &packet.Packet{
+		Kind:    packet.KindHello,
+		From:    s.dev.ID(),
+		To:      packet.Broadcast,
+		Origin:  s.dev.ID(),
+		Target:  packet.Broadcast,
+		Seq:     seq,
+		TTL:     1,
+		Payload: spinMeta(origin, seq),
+	}
+	if s.dev.Send(adv) {
+		s.Advs++
+	}
+}
+
+// HandleMessage implements node.Stack.
+func (s *SPIN) HandleMessage(pkt *packet.Packet) {
+	if s.dev == nil {
+		return
+	}
+	switch pkt.Kind {
+	case packet.KindHello: // ADV
+		origin, seq, ok := parseSpinMeta(pkt.Payload)
+		if !ok || pkt.Payload[0] != spinAdvMarker {
+			return
+		}
+		if _, dup := s.have[floodKey64(origin, seq)]; dup {
+			return // negotiation win: we already hold it, no DATA needed
+		}
+		req := &packet.Packet{
+			Kind:    packet.KindAck,
+			From:    s.dev.ID(),
+			To:      pkt.From,
+			Origin:  s.dev.ID(),
+			Target:  pkt.From,
+			Seq:     seq,
+			TTL:     1,
+			Payload: append([]byte{spinReqMarker}, spinMeta(origin, seq)[1:]...),
+		}
+		if s.dev.Send(req) {
+			s.Reqs++
+		}
+	case packet.KindAck: // REQ addressed to us
+		if pkt.Target != s.dev.ID() || len(pkt.Payload) < 9 || pkt.Payload[0] != spinReqMarker {
+			return
+		}
+		origin := packet.NodeID(binary.BigEndian.Uint32(pkt.Payload[1:]))
+		seq := binary.BigEndian.Uint32(pkt.Payload[5:])
+		payload, held := s.have[floodKey64(origin, seq)]
+		if !held {
+			return
+		}
+		data := &packet.Packet{
+			Kind:    packet.KindData,
+			From:    s.dev.ID(),
+			To:      pkt.Origin,
+			Origin:  origin,
+			Target:  pkt.Origin,
+			Seq:     seq,
+			TTL:     1,
+			Payload: payload,
+		}
+		if s.dev.Send(data) {
+			s.Datas++
+			s.Metrics.DataSent++
+		}
+	case packet.KindData: // requested DATA arriving
+		if pkt.Target != s.dev.ID() {
+			return
+		}
+		k := floodKey64(pkt.Origin, pkt.Seq)
+		if _, dup := s.have[k]; dup {
+			return
+		}
+		s.have[k] = append([]byte(nil), pkt.Payload...)
+		// Continue dissemination: advertise onward.
+		s.advertise(pkt.Origin, pkt.Seq)
+	}
+}
+
+// SPINSink participates in the negotiation like any node but records
+// deliveries instead of re-advertising.
+type SPINSink struct {
+	Metrics *core.Metrics
+
+	dev  *node.Device
+	have map[uint64]bool
+}
+
+// NewSPINSink creates the sink stack.
+func NewSPINSink(m *core.Metrics) *SPINSink {
+	return &SPINSink{Metrics: m, have: make(map[uint64]bool)}
+}
+
+// Start implements node.Stack.
+func (s *SPINSink) Start(dev *node.Device) { s.dev = dev }
+
+// HandleMessage implements node.Stack.
+func (s *SPINSink) HandleMessage(pkt *packet.Packet) {
+	if s.dev == nil {
+		return
+	}
+	switch pkt.Kind {
+	case packet.KindHello: // ADV: request anything new
+		origin, seq, ok := parseSpinMeta(pkt.Payload)
+		if !ok || pkt.Payload[0] != spinAdvMarker || s.have[floodKey64(origin, seq)] {
+			return
+		}
+		req := &packet.Packet{
+			Kind:    packet.KindAck,
+			From:    s.dev.ID(),
+			To:      pkt.From,
+			Origin:  s.dev.ID(),
+			Target:  pkt.From,
+			Seq:     seq,
+			TTL:     1,
+			Payload: append([]byte{spinReqMarker}, spinMeta(origin, seq)[1:]...),
+		}
+		s.dev.Send(req)
+	case packet.KindData:
+		if pkt.Target != s.dev.ID() {
+			return
+		}
+		k := floodKey64(pkt.Origin, pkt.Seq)
+		if s.have[k] {
+			return
+		}
+		s.have[k] = true
+		s.Metrics.RecordDelivered(pkt.Origin, pkt.Seq, s.dev.ID(), int(pkt.Hops)+1, s.dev.Now())
+	}
+}

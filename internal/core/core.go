@@ -1,0 +1,334 @@
+// Package core implements the paper's routing protocols for multi-gateway
+// wireless mesh sensor networks:
+//
+//   - SPR (Shortest Path Routing, §5.2): on-demand discovery of the
+//     minimum-hop path from a sensor to the best of the m gateways, with
+//     route caching along established paths (Property 1).
+//   - MLR (Maximal network Lifetime Routing, §5.3): round-based gateway
+//     mobility over a set of feasible places, with *incremental* routing
+//     tables that accumulate one entry per place and are never rebuilt.
+//   - SecMLR (§6.2): MLR hardened with pairwise-key encryption, MACs,
+//     freshness counters, µTESLA-authenticated movement broadcasts and
+//     multi-route fault tolerance.
+//
+// Each protocol is a pair of node.Stack implementations (sensor side and
+// gateway side) plus shared plumbing in this file: protocol parameters,
+// routing-table types and the metrics sink every experiment reads.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Params tunes protocol timing and limits. The zero value is unusable; use
+// DefaultParams.
+type Params struct {
+	// TTL is the initial hop budget for flooded packets.
+	TTL uint8
+	// ResponseWait is how long a sensor collects RRES packets before
+	// choosing the best gateway.
+	ResponseWait sim.Duration
+	// GatewayWait is how long a SecMLR gateway collects alternative RREQ
+	// paths before answering (§6.2.2 "waits a given timeout to collect
+	// multiple path information").
+	GatewayWait sim.Duration
+	// Retries is how many times a route discovery is reissued before the
+	// queued data is dropped.
+	Retries int
+	// QueueLimit bounds payloads buffered while discovery is in flight.
+	QueueLimit int
+	// AckWait is how long a SecMLR source waits for the gateway's ACK
+	// before failing over to its next-best route.
+	AckWait sim.Duration
+	// DiscloseDelay is how long a SecMLR gateway waits after a TESLA
+	// announcement before disclosing the interval key.
+	DiscloseDelay sim.Duration
+	// NoShortcutAnswers disables the Property-1 optimization (cached-route
+	// nodes answering RREQs, SPR/MLR step 3.1) so every query is answered
+	// by a real gateway. Ablation knob.
+	NoShortcutAnswers bool
+	// OverloadThreshold, when positive, makes an MLR gateway flood an
+	// overload notification after absorbing that many data packets in one
+	// round; sensors with alternatives then redirect (§4.3 load balance).
+	// 0 disables load shedding.
+	OverloadThreshold uint64
+	// OverloadClear is how long sensors avoid an overloaded place;
+	// 0 selects 60 s.
+	OverloadClear sim.Duration
+	// FloodJitter, when positive, delays every flood rebroadcast by a
+	// uniform random time in [0, FloodJitter). On collision-prone media
+	// this de-synchronizes the broadcast storm; with it at 0 (default) a
+	// flood wavefront expands deterministically, which keeps plain
+	// SPR/MLR's first-copy-answered discovery BFS-optimal on clean media.
+	FloodJitter sim.Duration
+}
+
+// DefaultParams returns sensible defaults for the simulated radios.
+func DefaultParams() Params {
+	return Params{
+		TTL:           32,
+		ResponseWait:  300 * sim.Millisecond,
+		GatewayWait:   60 * sim.Millisecond,
+		Retries:       2,
+		QueueLimit:    64,
+		AckWait:       500 * sim.Millisecond,
+		DiscloseDelay: 100 * sim.Millisecond,
+	}
+}
+
+// Route is one routing-table entry: the full minimum-hop path from this node
+// to a gateway (storing the path, not just the next hop, lets a node answer
+// other nodes' RREQs per SPR step 3.1 and exploits Property 1).
+type Route struct {
+	Gateway packet.NodeID
+	Place   int // MLR feasible-place index; -1 under plain SPR
+	Hops    int
+	Path    []packet.NodeID // self ... gateway, inclusive
+}
+
+// NextHop returns the first hop of the route (self when degenerate).
+func (r Route) NextHop() packet.NodeID {
+	if len(r.Path) >= 2 {
+		return r.Path[1]
+	}
+	if len(r.Path) == 1 {
+		return r.Path[0]
+	}
+	return packet.None
+}
+
+// String renders the entry like the paper's Table 1 rows.
+func (r Route) String() string {
+	return fmt.Sprintf("place=%d gw=%v hops=%d route=%s", r.Place, r.Gateway, r.Hops, packet.PathString(r.Path))
+}
+
+// compressPath removes cycles from a route by loop erasure: scanning left
+// to right, revisiting a node splices out the detour between its two
+// occurrences. Combined paths (a flood prefix joined to a cached suffix,
+// SPR/MLR step 3.1) can revisit nodes; forwarding such a path would
+// ping-pong between the duplicates until the TTL expires. Every spliced
+// edge was traversed by the original walk, so the result is a valid,
+// shorter route.
+func compressPath(path []packet.NodeID) []packet.NodeID {
+	seen := make(map[packet.NodeID]int, len(path))
+	out := make([]packet.NodeID, 0, len(path))
+	for _, id := range path {
+		if i, dup := seen[id]; dup {
+			for _, cut := range out[i+1:] {
+				delete(seen, cut)
+			}
+			out = out[:i+1]
+			continue
+		}
+		seen[id] = len(out)
+		out = append(out, id)
+	}
+	return out
+}
+
+// floodKey deduplicates flooded packets per (origin, sequence).
+type floodKey struct {
+	origin packet.NodeID
+	seq    uint32
+}
+
+// seenSet is a bounded dedup set for flood suppression.
+type seenSet struct {
+	m     map[floodKey]struct{}
+	limit int
+}
+
+func newSeenSet(limit int) *seenSet {
+	return &seenSet{m: make(map[floodKey]struct{}), limit: limit}
+}
+
+// Check records the key and reports whether it was already present.
+func (s *seenSet) Check(origin packet.NodeID, seq uint32) bool {
+	k := floodKey{origin, seq}
+	if _, ok := s.m[k]; ok {
+		return true
+	}
+	if len(s.m) >= s.limit {
+		// Bounded memory: drop everything; duplicates re-suppressed by TTL.
+		s.m = make(map[floodKey]struct{})
+	}
+	s.m[k] = struct{}{}
+	return false
+}
+
+// Metrics aggregates end-to-end protocol behaviour across a run. One Metrics
+// instance is shared by every stack in a scenario.
+type Metrics struct {
+	Generated      uint64 // data packets originated by sensors
+	Delivered      uint64 // data packets accepted at a gateway
+	DroppedNoRoute uint64 // originations abandoned after failed discovery
+	DroppedQueue   uint64 // originations rejected by a full queue
+	Duplicates     uint64 // data packets delivered more than once
+
+	RReqSent      uint64 // RREQ transmissions (incl. rebroadcasts)
+	RResSent      uint64 // RRES transmissions (incl. forwards)
+	NotifySent    uint64 // gateway movement notifications
+	AckSent       uint64 // SecMLR acknowledgments
+	DataSent      uint64 // data transmissions (incl. forwards)
+	Failovers     uint64 // SecMLR route failovers after missing ACKs
+	AbandonedData uint64 // SecMLR data given up after exhausting routes
+
+	RejectedMAC    uint64 // packets dropped for bad MACs
+	RejectedReplay uint64 // packets dropped for stale counters
+
+	ForwardNoEntry    uint64 // data dropped mid-path: no table entry
+	ForwardTTLExpired uint64 // data dropped mid-path: TTL exhausted
+	ForwardSelfLoop   uint64 // data dropped mid-path: malformed path
+
+	pending    map[floodKey]pendingData
+	latencies  []sim.Duration
+	hops       []int
+	perGateway map[packet.NodeID]uint64
+	delivered  map[floodKey]struct{}
+}
+
+type pendingData struct {
+	at sim.Time
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		pending:    make(map[floodKey]pendingData),
+		perGateway: make(map[packet.NodeID]uint64),
+		delivered:  make(map[floodKey]struct{}),
+	}
+}
+
+// RecordGenerated notes a data packet leaving its origin.
+func (m *Metrics) RecordGenerated(origin packet.NodeID, seq uint32, now sim.Time) {
+	m.Generated++
+	m.pending[floodKey{origin, seq}] = pendingData{at: now}
+}
+
+// RecordDelivered notes a data packet accepted by gateway gw.
+func (m *Metrics) RecordDelivered(origin packet.NodeID, seq uint32, gw packet.NodeID, hops int, now sim.Time) {
+	k := floodKey{origin, seq}
+	if _, dup := m.delivered[k]; dup {
+		m.Duplicates++
+		return
+	}
+	m.delivered[k] = struct{}{}
+	m.Delivered++
+	m.perGateway[gw]++
+	m.hops = append(m.hops, hops)
+	if p, ok := m.pending[k]; ok {
+		m.latencies = append(m.latencies, now-p.at)
+		delete(m.pending, k)
+	}
+}
+
+// Undelivered lists (origin, seq) pairs generated but never delivered, in
+// unspecified order — post-mortem debugging and loss analysis.
+func (m *Metrics) Undelivered() [][2]uint64 {
+	out := make([][2]uint64, 0, len(m.pending))
+	for k := range m.pending {
+		out = append(out, [2]uint64{uint64(k.origin), uint64(k.seq)})
+	}
+	return out
+}
+
+// DeliveryRatio returns Delivered/Generated (1 when nothing was generated).
+func (m *Metrics) DeliveryRatio() float64 {
+	if m.Generated == 0 {
+		return 1
+	}
+	return float64(m.Delivered) / float64(m.Generated)
+}
+
+// MeanHops returns the average hop count over delivered data.
+func (m *Metrics) MeanHops() float64 {
+	if len(m.hops) == 0 {
+		return 0
+	}
+	total := 0
+	for _, h := range m.hops {
+		total += h
+	}
+	return float64(total) / float64(len(m.hops))
+}
+
+// MeanLatency returns the average origination-to-delivery latency.
+func (m *Metrics) MeanLatency() sim.Duration {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, l := range m.latencies {
+		total += l
+	}
+	return total / sim.Duration(len(m.latencies))
+}
+
+// LatencyPercentile returns the p-th percentile latency, p in [0,100].
+func (m *Metrics) LatencyPercentile(p float64) sim.Duration {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	ls := append([]sim.Duration(nil), m.latencies...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	idx := int(p / 100 * float64(len(ls)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ls) {
+		idx = len(ls) - 1
+	}
+	return ls[idx]
+}
+
+// DeliveredFrom returns how many distinct packets claiming the given origin
+// were accepted by gateways — the forged-data-accepted metric of the Sybil
+// experiment.
+func (m *Metrics) DeliveredFrom(origin packet.NodeID) uint64 {
+	var n uint64
+	for k := range m.delivered {
+		if k.origin == origin {
+			n++
+		}
+	}
+	return n
+}
+
+// PerGateway returns deliveries per gateway ID (load-balance metric, E8).
+func (m *Metrics) PerGateway() map[packet.NodeID]uint64 {
+	out := make(map[packet.NodeID]uint64, len(m.perGateway))
+	for k, v := range m.perGateway {
+		out[k] = v
+	}
+	return out
+}
+
+// GatewayLoadImbalance returns max/mean deliveries across gateways
+// (1 = perfectly balanced; 0 when no gateway delivered anything).
+func (m *Metrics) GatewayLoadImbalance() float64 {
+	if len(m.perGateway) == 0 {
+		return 0
+	}
+	var max, total uint64
+	for _, v := range m.perGateway {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(m.perGateway))
+	return float64(max) / mean
+}
+
+// ControlPackets returns total control-plane transmissions.
+func (m *Metrics) ControlPackets() uint64 {
+	return m.RReqSent + m.RResSent + m.NotifySent + m.AckSent
+}

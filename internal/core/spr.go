@@ -1,0 +1,394 @@
+package core
+
+import (
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// SPR (§5.2) minimizes the number of hops between each sensor node and the
+// best of the m gateways. Discovery is on demand: a sensor with data but no
+// route floods an RREQ toward all gateways; gateways — and any sensor that
+// already has a route, per Property 1 — answer with an RRES carrying the
+// full path; the source picks the least-hop response. The first data packet
+// carries the chosen path in its head and installs routing entries on every
+// on-path node (step 5.2); subsequent packets are forwarded from those
+// tables without carrying routes.
+
+// SPRSensor is the sensor-node side of SPR.
+type SPRSensor struct {
+	Params  Params
+	Metrics *Metrics
+
+	dev  *node.Device
+	seen *seenSet
+	seq  uint32
+
+	// table holds the discovered route per gateway; best points at the
+	// entry currently used for data.
+	table map[packet.NodeID]Route
+	best  *Route
+	// routeFresh marks that the next data packet must carry the path to
+	// install on-path tables (SPR step 5.1).
+	routeFresh bool
+
+	queue       [][]byte
+	discovering bool
+	retriesLeft int
+	responses   []Route
+}
+
+// NewSPRSensor creates a sensor stack with the given parameters and shared
+// metrics sink.
+func NewSPRSensor(p Params, m *Metrics) *SPRSensor {
+	return &SPRSensor{Params: p, Metrics: m, table: make(map[packet.NodeID]Route)}
+}
+
+// Start implements node.Stack.
+func (s *SPRSensor) Start(dev *node.Device) {
+	s.dev = dev
+	s.seen = newSeenSet(1 << 14)
+}
+
+// BestRoute returns the route data currently follows, or nil.
+func (s *SPRSensor) BestRoute() *Route {
+	if s.best == nil {
+		return nil
+	}
+	r := *s.best
+	return &r
+}
+
+// Table returns a copy of the routing table.
+func (s *SPRSensor) Table() map[packet.NodeID]Route {
+	out := make(map[packet.NodeID]Route, len(s.table))
+	for k, v := range s.table {
+		out[k] = v
+	}
+	return out
+}
+
+// OriginateData queues one payload for delivery to the best gateway,
+// triggering route discovery when necessary (SPR step 1).
+func (s *SPRSensor) OriginateData(payload []byte) {
+	if s.dev == nil || !s.dev.Alive() {
+		return
+	}
+	if s.best != nil {
+		s.sendData(payload)
+		return
+	}
+	if len(s.queue) >= s.Params.QueueLimit {
+		s.Metrics.DroppedQueue++
+		return
+	}
+	s.queue = append(s.queue, payload)
+	if !s.discovering {
+		s.retriesLeft = s.Params.Retries
+		s.startDiscovery()
+	}
+}
+
+func (s *SPRSensor) startDiscovery() {
+	s.discovering = true
+	s.responses = s.responses[:0]
+	s.seq++
+	req := &packet.Packet{
+		Kind:   packet.KindRReq,
+		From:   s.dev.ID(),
+		To:     packet.Broadcast,
+		Origin: s.dev.ID(),
+		Target: packet.Broadcast, // "m destinations": any gateway
+		Seq:    s.seq,
+		TTL:    s.Params.TTL,
+		Path:   []packet.NodeID{s.dev.ID()},
+	}
+	s.seen.Check(s.dev.ID(), s.seq) // never re-forward our own flood
+	if s.dev.Send(req) {
+		s.Metrics.RReqSent++
+	}
+	s.dev.After(s.Params.ResponseWait, s.decide)
+}
+
+// decide concludes a discovery window (SPR step 4).
+func (s *SPRSensor) decide() {
+	if !s.discovering || s.dev == nil || !s.dev.Alive() {
+		return
+	}
+	s.discovering = false
+	best := bestOf(s.responses)
+	if best == nil {
+		if s.retriesLeft > 0 {
+			s.retriesLeft--
+			s.startDiscovery()
+			return
+		}
+		s.Metrics.DroppedNoRoute += uint64(len(s.queue))
+		s.queue = nil
+		return
+	}
+	s.table[best.Gateway] = *best
+	s.best = best
+	s.routeFresh = true
+	for _, p := range s.queue {
+		s.sendData(p)
+	}
+	s.queue = nil
+}
+
+// bestOf picks the least-hop route; ties break toward the smaller gateway ID
+// for determinism.
+func bestOf(rs []Route) *Route {
+	var best *Route
+	for i := range rs {
+		r := &rs[i]
+		if best == nil || r.Hops < best.Hops ||
+			(r.Hops == best.Hops && r.Gateway < best.Gateway) {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	c := *best
+	return &c
+}
+
+func (s *SPRSensor) sendData(payload []byte) {
+	s.seq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindData,
+		From:    s.dev.ID(),
+		To:      s.best.NextHop(),
+		Origin:  s.dev.ID(),
+		Target:  s.best.Gateway,
+		Seq:     s.seq,
+		TTL:     s.Params.TTL,
+		Payload: payload,
+	}
+	if s.routeFresh {
+		// First packet after (re)discovery carries the route (step 5.1).
+		pkt.Path = append([]packet.NodeID(nil), s.best.Path...)
+		s.routeFresh = false
+	}
+	s.Metrics.RecordGenerated(s.dev.ID(), s.seq, s.dev.Now())
+	if s.dev.Send(pkt) {
+		s.Metrics.DataSent++
+	}
+}
+
+// HandleMessage implements node.Stack.
+func (s *SPRSensor) HandleMessage(pkt *packet.Packet) {
+	if s.dev == nil {
+		return // not attached to a device yet
+	}
+	switch pkt.Kind {
+	case packet.KindRReq:
+		s.handleRReq(pkt)
+	case packet.KindRRes:
+		s.handleRRes(pkt)
+	case packet.KindData:
+		s.handleData(pkt)
+	}
+}
+
+func (s *SPRSensor) handleRReq(pkt *packet.Packet) {
+	if pkt.Origin == s.dev.ID() || s.seen.Check(pkt.Origin, pkt.Seq) {
+		return
+	}
+	if s.best != nil && !s.Params.NoShortcutAnswers {
+		// Step 3.1: a node with an established route answers directly
+		// instead of re-flooding (Property 1 shortcut). The flood prefix
+		// and the cached suffix may share nodes; erase any loops.
+		full := pkt.AppendHop(s.dev.ID())
+		full = append(full, s.best.Path[1:]...)
+		full = compressPath(full)
+		res := &packet.Packet{
+			Kind:   packet.KindRRes,
+			From:   s.dev.ID(),
+			To:     pkt.From,
+			Origin: s.dev.ID(),
+			Target: pkt.Origin,
+			Seq:    pkt.Seq,
+			TTL:    s.Params.TTL,
+			Path:   full,
+		}
+		if s.dev.Send(res) {
+			s.Metrics.RResSent++
+		}
+		return
+	}
+	if pkt.TTL <= 1 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.Path = pkt.AppendHop(s.dev.ID())
+	fwd.From = s.dev.ID()
+	fwd.TTL--
+	fwd.Hops++
+	s.sendFlood(fwd, &s.Metrics.RReqSent)
+}
+
+// sendFlood transmits a flood rebroadcast, optionally jittered to
+// de-synchronize broadcast storms on collision-prone media.
+func (s *SPRSensor) sendFlood(fwd *packet.Packet, counter *uint64) {
+	if j := s.Params.FloodJitter; j > 0 {
+		delay := sim.Duration(s.dev.World().Kernel().Rand().Int63n(int64(j)))
+		s.dev.After(delay, func() {
+			if s.dev.Alive() && s.dev.Send(fwd) {
+				*counter++
+			}
+		})
+		return
+	}
+	if s.dev.Send(fwd) {
+		*counter++
+	}
+}
+
+func (s *SPRSensor) handleRRes(pkt *packet.Packet) {
+	if pkt.Target == s.dev.ID() {
+		if !s.discovering || len(pkt.Path) < 2 {
+			return
+		}
+		gw := pkt.Path[len(pkt.Path)-1]
+		s.responses = append(s.responses, Route{
+			Gateway: gw,
+			Place:   -1,
+			Hops:    len(pkt.Path) - 1,
+			Path:    append([]packet.NodeID(nil), pkt.Path...),
+		})
+		return
+	}
+	// Forward the response toward its target along the recorded path.
+	idx := indexOf(pkt.Path, s.dev.ID())
+	if idx <= 0 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.From = s.dev.ID()
+	fwd.To = pkt.Path[idx-1]
+	fwd.Hops++
+	if s.dev.Send(fwd) {
+		s.Metrics.RResSent++
+	}
+}
+
+func (s *SPRSensor) handleData(pkt *packet.Packet) {
+	if pkt.Target == s.dev.ID() {
+		return // sensors are not data sinks; stop mis-addressed traffic
+	}
+	if pkt.TTL <= 1 {
+		s.Metrics.ForwardTTLExpired++
+		return
+	}
+	if len(pkt.Path) > 0 {
+		// First packet of a flow: install the suffix route (step 5.2,
+		// justified by Property 1) and forward along the carried path.
+		idx := indexOf(pkt.Path, s.dev.ID())
+		if idx < 0 || idx+1 >= len(pkt.Path) {
+			s.Metrics.ForwardSelfLoop++
+			return
+		}
+		suffix := append([]packet.NodeID(nil), pkt.Path[idx:]...)
+		r := Route{Gateway: pkt.Target, Place: -1, Hops: len(suffix) - 1, Path: suffix}
+		if old, ok := s.table[pkt.Target]; !ok || r.Hops < old.Hops {
+			s.table[pkt.Target] = r
+			if s.best == nil || r.Hops < s.best.Hops {
+				rr := r
+				s.best = &rr
+			}
+		}
+		fwd := pkt.Clone()
+		fwd.From = s.dev.ID()
+		fwd.To = pkt.Path[idx+1]
+		fwd.TTL--
+		fwd.Hops++
+		if s.dev.Send(fwd) {
+			s.Metrics.DataSent++
+		}
+		return
+	}
+	// Path-less packet: forward from the local table (step 5.3).
+	r, ok := s.table[pkt.Target]
+	if !ok {
+		s.Metrics.ForwardNoEntry++
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.From = s.dev.ID()
+	fwd.To = r.NextHop()
+	fwd.TTL--
+	fwd.Hops++
+	if s.dev.Send(fwd) {
+		s.Metrics.DataSent++
+	}
+}
+
+func indexOf(path []packet.NodeID, id packet.NodeID) int {
+	for i, p := range path {
+		if p == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// SPRGateway is the gateway (WMG) side of SPR: it answers route queries and
+// absorbs data, optionally relaying it up the mesh backbone.
+type SPRGateway struct {
+	Params  Params
+	Metrics *Metrics
+	// Uplink, when set, receives every delivered data packet (the mesh
+	// layer hooks in here).
+	Uplink func(origin packet.NodeID, seq uint32, payload []byte)
+
+	dev  *node.Device
+	seen *seenSet
+}
+
+// NewSPRGateway creates a gateway stack.
+func NewSPRGateway(p Params, m *Metrics) *SPRGateway {
+	return &SPRGateway{Params: p, Metrics: m}
+}
+
+// Start implements node.Stack.
+func (g *SPRGateway) Start(dev *node.Device) {
+	g.dev = dev
+	g.seen = newSeenSet(1 << 14)
+}
+
+// HandleMessage implements node.Stack.
+func (g *SPRGateway) HandleMessage(pkt *packet.Packet) {
+	if g.dev == nil {
+		return // not attached to a device yet
+	}
+	switch pkt.Kind {
+	case packet.KindRReq:
+		if g.seen.Check(pkt.Origin, pkt.Seq) {
+			return
+		}
+		full := pkt.AppendHop(g.dev.ID())
+		res := &packet.Packet{
+			Kind:   packet.KindRRes,
+			From:   g.dev.ID(),
+			To:     pkt.From,
+			Origin: g.dev.ID(),
+			Target: pkt.Origin,
+			Seq:    pkt.Seq,
+			TTL:    g.Params.TTL,
+			Path:   full,
+		}
+		if g.dev.Send(res) {
+			g.Metrics.RResSent++
+		}
+	case packet.KindData:
+		if pkt.Target != g.dev.ID() {
+			return
+		}
+		g.Metrics.RecordDelivered(pkt.Origin, pkt.Seq, g.dev.ID(), int(pkt.Hops)+1, g.dev.Now())
+		if g.Uplink != nil {
+			g.Uplink(pkt.Origin, pkt.Seq, pkt.Payload)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+// Exported wire-format helpers. The attack package (and any external tool
+// crafting packets) needs to forge protocol payloads without reaching into
+// core's unexported encoders; these wrappers expose exactly the formats an
+// on-air adversary could observe and replicate.
+
+// EncodePlacePayload builds the payload of an MLR RRES or DATA packet: a
+// feasible-place index followed by the body.
+func EncodePlacePayload(place int, rest []byte) []byte { return placePayload(place, rest) }
+
+// DecodePlacePayload parses an MLR RRES/DATA payload.
+func DecodePlacePayload(b []byte) (place int, rest []byte, ok bool) { return parsePlacePayload(b) }
+
+// EncodeNotifyPayload builds a plain-MLR NOTIFY payload announcing that a
+// gateway moved from prevPlace (use NoPlace for none) to newPlace in round.
+func EncodeNotifyPayload(newPlace, prevPlace, round int) []byte {
+	return mlrNotify{NewPlace: uint16(newPlace), PrevPlace: uint16(prevPlace), Round: uint16(round)}.marshalMoveNotify()
+}
+
+// DecodeNotifyPayload parses a plain-MLR NOTIFY payload.
+func DecodeNotifyPayload(b []byte) (newPlace, prevPlace, round int, ok bool) {
+	if len(b) < 1 || b[0] != mlrNotifyMove {
+		return 0, 0, 0, false
+	}
+	n, ok := parseMLRNotify(b[1:])
+	return int(n.NewPlace), int(n.PrevPlace), int(n.Round), ok
+}

@@ -1,0 +1,225 @@
+// Package energy models sensor-node energy consumption and battery
+// accounting.
+//
+// Two interchangeable radio energy models are provided:
+//
+//   - FixedPerBit: "let all sensor nodes transmit data in identical power so
+//     that transmitting 1 bit data consumes the same energy to all of them"
+//     (paper §5.2). Under this model, minimizing hops minimizes energy,
+//     which is SPR's premise.
+//
+//   - FirstOrder: the Heinzelman first-order radio model used throughout the
+//     WSN literature the paper builds on (LEACH, PEGASIS): transmitting k
+//     bits over distance d costs E_elec·k + ε_amp·k·d², receiving costs
+//     E_elec·k. This model makes long cluster-head hops expensive and is
+//     needed for the LEACH baseline comparison.
+//
+// Energy is tracked in joules as float64. Batteries saturate at zero: a node
+// whose battery reaches zero is dead and the network lifetime experiments
+// (E4, E5) record the time of the first such death, matching the paper's
+// lifetime definition ("the time when the first sensor node drains its
+// energy", §5.3).
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model maps a radio operation to its energy cost in joules.
+type Model interface {
+	// TxCost is the energy to transmit bits bits over distance d meters.
+	TxCost(bits int, d float64) float64
+	// RxCost is the energy to receive bits bits.
+	RxCost(bits int) float64
+}
+
+// FixedPerBit charges a constant energy per transmitted and received bit,
+// independent of distance (the paper's identical-power assumption).
+type FixedPerBit struct {
+	TxPerBit float64 // joules per transmitted bit
+	RxPerBit float64 // joules per received bit
+}
+
+// DefaultFixed matches the common 50 nJ/bit electronics figure.
+var DefaultFixed = FixedPerBit{TxPerBit: 50e-9, RxPerBit: 50e-9}
+
+// TxCost implements Model.
+func (m FixedPerBit) TxCost(bits int, _ float64) float64 { return float64(bits) * m.TxPerBit }
+
+// RxCost implements Model.
+func (m FixedPerBit) RxCost(bits int) float64 { return float64(bits) * m.RxPerBit }
+
+// FirstOrder is the Heinzelman first-order radio model.
+type FirstOrder struct {
+	Elec float64 // electronics energy, joules/bit (both Tx and Rx)
+	Amp  float64 // amplifier energy, joules/bit/m²
+}
+
+// DefaultFirstOrder uses the canonical LEACH parameters:
+// E_elec = 50 nJ/bit, ε_amp = 100 pJ/bit/m².
+var DefaultFirstOrder = FirstOrder{Elec: 50e-9, Amp: 100e-12}
+
+// TxCost implements Model.
+func (m FirstOrder) TxCost(bits int, d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return float64(bits) * (m.Elec + m.Amp*d*d)
+}
+
+// RxCost implements Model.
+func (m FirstOrder) RxCost(bits int) float64 { return float64(bits) * m.Elec }
+
+// Battery is a finite (or infinite) energy reserve. The zero value is an
+// empty battery; use NewBattery or Infinite.
+type Battery struct {
+	capacity float64 // initial charge, joules; +Inf for mains-powered nodes
+	used     float64 // total joules drawn (capped at capacity)
+	txUsed   float64 // portion of used spent transmitting
+	rxUsed   float64 // portion of used spent receiving
+}
+
+// NewBattery returns a battery holding capacity joules. Negative capacities
+// are treated as zero.
+func NewBattery(capacity float64) *Battery {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Battery{capacity: capacity}
+}
+
+// Infinite returns a battery that never depletes, used for mesh gateways and
+// routers ("let gateways have unrestricted energy", §5.3).
+func Infinite() *Battery {
+	return &Battery{capacity: math.Inf(1)}
+}
+
+// Capacity returns the initial charge in joules.
+func (b *Battery) Capacity() float64 { return b.capacity }
+
+// Remaining returns the charge left in joules; never negative.
+func (b *Battery) Remaining() float64 {
+	if math.IsInf(b.capacity, 1) {
+		return math.Inf(1)
+	}
+	return b.capacity - b.used
+}
+
+// Used returns the total energy drawn so far in joules.
+func (b *Battery) Used() float64 { return b.used }
+
+// TxUsed returns the energy spent on transmission.
+func (b *Battery) TxUsed() float64 { return b.txUsed }
+
+// RxUsed returns the energy spent on reception.
+func (b *Battery) RxUsed() float64 { return b.rxUsed }
+
+// Depleted reports whether the battery has no charge left.
+func (b *Battery) Depleted() bool { return !math.IsInf(b.capacity, 1) && b.used >= b.capacity }
+
+// DrawTx draws j joules for a transmission. It reports whether the battery
+// held enough charge for the whole operation; when it does not, the battery
+// is drained to zero and the operation is considered failed (the radio
+// browns out mid-packet).
+func (b *Battery) DrawTx(j float64) bool { return b.draw(j, &b.txUsed) }
+
+// DrawRx draws j joules for a reception, with the same semantics as DrawTx.
+func (b *Battery) DrawRx(j float64) bool { return b.draw(j, &b.rxUsed) }
+
+func (b *Battery) draw(j float64, bucket *float64) bool {
+	if j < 0 {
+		panic(fmt.Sprintf("energy: negative draw %g", j))
+	}
+	if math.IsInf(b.capacity, 1) {
+		b.used += j
+		*bucket += j
+		return true
+	}
+	if b.used+j > b.capacity {
+		short := b.capacity - b.used
+		b.used = b.capacity
+		*bucket += short
+		return false
+	}
+	b.used += j
+	*bucket += j
+	return true
+}
+
+// FractionRemaining returns Remaining/Capacity in [0,1]; 1 for infinite
+// batteries, 0 for zero-capacity ones.
+func (b *Battery) FractionRemaining() float64 {
+	if math.IsInf(b.capacity, 1) {
+		return 1
+	}
+	if b.capacity == 0 {
+		return 0
+	}
+	return b.Remaining() / b.capacity
+}
+
+// Stats summarizes energy use across a set of batteries (sensor nodes).
+// Infinite batteries (gateways) are excluded from every aggregate so that the
+// statistics describe the constrained population the paper optimizes.
+type Stats struct {
+	N        int     // finite batteries counted
+	Total    float64 // Σ used, joules
+	TxTotal  float64 // Σ transmission energy
+	RxTotal  float64 // Σ reception energy
+	Mean     float64 // average used per node
+	Variance float64 // population variance of per-node use — the D² of §5.3
+	Min, Max float64 // extremes of per-node use
+	Dead     int     // depleted batteries
+}
+
+// Summarize computes Stats over batteries, ignoring infinite ones.
+func Summarize(batteries []*Battery) Stats {
+	var s Stats
+	first := true
+	for _, b := range batteries {
+		if math.IsInf(b.capacity, 1) {
+			continue
+		}
+		u := b.used
+		s.N++
+		s.Total += u
+		s.TxTotal += b.txUsed
+		s.RxTotal += b.rxUsed
+		if first {
+			s.Min, s.Max = u, u
+			first = false
+		} else {
+			s.Min = math.Min(s.Min, u)
+			s.Max = math.Max(s.Max, u)
+		}
+		if b.Depleted() {
+			s.Dead++
+		}
+	}
+	if s.N == 0 {
+		return s
+	}
+	s.Mean = s.Total / float64(s.N)
+	for _, b := range batteries {
+		if math.IsInf(b.capacity, 1) {
+			continue
+		}
+		d := b.used - s.Mean
+		s.Variance += d * d
+	}
+	s.Variance /= float64(s.N)
+	return s
+}
+
+// StdDev returns the standard deviation of per-node energy use.
+func (s Stats) StdDev() float64 { return math.Sqrt(s.Variance) }
+
+// CoefficientOfVariation returns StdDev/Mean, a scale-free imbalance
+// measure; 0 when Mean is 0.
+func (s Stats) CoefficientOfVariation() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev() / s.Mean
+}

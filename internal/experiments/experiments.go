@@ -1,0 +1,64 @@
+// Package experiments implements the reproduction suite indexed in
+// DESIGN.md: one function per experiment (E1..E12), each returning the
+// table(s) the paper's corresponding figure/table/claim implies. The
+// cmd/wmsnbench binary prints them all; bench_test.go wraps each in a
+// testing.B benchmark.
+package experiments
+
+import (
+	"wmsn/internal/trace"
+)
+
+// Opts scales an experiment.
+type Opts struct {
+	// Quick shrinks fields and horizons so the whole suite runs in
+	// seconds (used by tests); the default full scale is what
+	// EXPERIMENTS.md records.
+	Quick bool
+	// Seeds is the number of independent repetitions averaged; 0 picks a
+	// per-experiment default.
+	Seeds int
+}
+
+func (o Opts) seeds(def int) int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	if o.Quick {
+		return 1
+	}
+	return def
+}
+
+// pick returns quick when Quick is set, else full.
+func pick[T any](o Opts, full, quick T) T {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment is one entry of the suite.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Opts) []*trace.Table
+}
+
+// All returns the full suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Fig. 2 — hop counts: single sink vs multiple gateways", E1HopReduction},
+		{"E2", "Table 1 — MLR incremental routing tables across rounds", E2Table1},
+		{"E3", "Scalability — hops and latency vs network size", E3Scalability},
+		{"E4", "Lifetime — energy balance across protocols", E4Lifetime},
+		{"E5", "Gateway number model — lifetime vs k and Kmax", E5GatewayNumber},
+		{"E6", "Robustness — delivery under node failures", E6Robustness},
+		{"E7", "Single point of failure — sink/gateway loss", E7SinkFailure},
+		{"E8", "Load balance — hotspot traffic across gateways", E8LoadBalance},
+		{"E9", "Attack matrix — MLR vs SecMLR under 8 attacks", E9AttackMatrix},
+		{"E10", "Security overhead — SecMLR vs MLR cost", E10SecurityOverhead},
+		{"E11", "Topology control — sleep scheduling and power control", E11TopologyControl},
+		{"E12", "SPR convergence — optimality and control overhead", E12SPRConvergence},
+	}
+}

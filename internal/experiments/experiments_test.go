@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wmsn/internal/network"
+	"wmsn/internal/packet"
+)
+
+func quickOpts() Opts { return Opts{Quick: true, Seeds: 1} }
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Run(quickOpts())
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				out := tbl.String()
+				if len(out) < 40 {
+					t.Fatalf("%s table suspiciously empty:\n%s", e.ID, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFig2TopologyMatchesPaperExactly(t *testing.T) {
+	pos, named, gws := fig2Topology()
+	ranges := make(map[packet.NodeID]float64, len(pos))
+	for id := range pos {
+		ranges[id] = 12
+	}
+	g := network.Build(pos, ranges)
+	sink := named["sink"]
+	wantSink := map[string]int{"S1": 2, "S2": 7, "S3": 6, "S4": 9}
+	wantGW := map[string]int{"S1": 1, "S2": 1, "S3": 1, "S4": 2}
+	for name, want := range wantSink {
+		if got := g.Hops(named[name], sink); got != want {
+			t.Errorf("%s to sink: %d hops, paper says %d", name, got, want)
+		}
+	}
+	for name, want := range wantGW {
+		if _, got := g.NearestOf(named[name], gws); got != want {
+			t.Errorf("%s to nearest gateway: %d hops, paper says %d", name, got, want)
+		}
+	}
+}
+
+func TestE1TablesShowReduction(t *testing.T) {
+	tables := E1HopReduction(quickOpts())
+	if len(tables) != 2 {
+		t.Fatalf("E1 returned %d tables", len(tables))
+	}
+	out := tables[0].String()
+	// The exact table must contain the paper's hop counts.
+	for _, v := range []string{"S1", "S4", "9", "7"} {
+		if !strings.Contains(out, v) {
+			t.Errorf("E1a missing %q:\n%s", v, out)
+		}
+	}
+}
+
+func TestE2TablesGrow(t *testing.T) {
+	tables := E2Table1(quickOpts())
+	if len(tables) != 3 {
+		t.Fatalf("E2 returned %d tables, want 3 rounds", len(tables))
+	}
+	// Row counts grow 3 -> 4 -> 5 (plus header/separator/note lines).
+	counts := make([]int, 3)
+	for i, tbl := range tables {
+		counts[i] = strings.Count(tbl.String(), "\n")
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Fatalf("E2 tables do not grow: line counts %v", counts)
+	}
+	// The third table must include all five places and a starred selection.
+	out := tables[2].String()
+	for _, p := range []string{"A", "B", "C", "D", "E"} {
+		if !strings.Contains(out, "\n  "+p) {
+			t.Errorf("round-3 table missing place %s:\n%s", p, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("no selected route starred:\n%s", out)
+	}
+}
+
+func TestE5KmaxNoteEmitted(t *testing.T) {
+	tables := E5GatewayNumber(quickOpts())
+	out := tables[0].String()
+	if !strings.Contains(out, "Kmax") {
+		t.Fatalf("E5 missing Kmax note:\n%s", out)
+	}
+}
+
+func TestE9MatrixHasAllCells(t *testing.T) {
+	tables := E9AttackMatrix(quickOpts())
+	out := tables[0].String()
+	for _, atk := range []string{"none", "replay", "sinkhole", "selective", "hello-flood", "sybil", "wormhole", "ack-spoofing"} {
+		if !strings.Contains(out, atk) {
+			t.Errorf("matrix missing attack %q", atk)
+		}
+	}
+	if got := strings.Count(out, "secmlr"); got != 8 {
+		t.Errorf("matrix has %d secmlr rows, want 8:\n%s", got, out)
+	}
+}
+
+func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 12 {
+		t.Fatalf("suite has %d experiments, want 12", len(seen))
+	}
+}

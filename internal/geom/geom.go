@@ -1,0 +1,251 @@
+// Package geom provides the planar geometry primitives and node deployment
+// generators used by the WMSN simulator: points, rectangular regions,
+// distances, and the random/grid/clustered placement strategies that the
+// paper's scenarios assume ("hundreds of even thousands of sensors
+// (randomly) distributed in a monitoring area").
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a location in the monitored area, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in meters.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance; cheaper than Dist when only
+// comparisons are needed.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns p with both coordinates multiplied by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// String formats the point with centimeter precision.
+func (p Point) String() string { return fmt.Sprintf("(%.2f,%.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangular region [X0,X1) x [Y0,Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Square returns a side x side region anchored at the origin.
+func Square(side float64) Rect { return Rect{0, 0, side, side} }
+
+// Width returns the horizontal extent.
+func (r Rect) Width() float64 { return r.X1 - r.X0 }
+
+// Height returns the vertical extent.
+func (r Rect) Height() float64 { return r.Y1 - r.Y0 }
+
+// Area returns the region's area in square meters.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the geometric center of the region.
+func (r Rect) Center() Point { return Point{(r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2} }
+
+// Contains reports whether p lies inside the region (inclusive bounds; nodes
+// deployed exactly on the far edge still count as in-region).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
+}
+
+// Clamp returns p moved to the nearest point inside the region.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.X0), r.X1),
+		Y: math.Min(math.Max(p.Y, r.Y0), r.Y1),
+	}
+}
+
+// RandomPoint returns a uniformly distributed point inside the region.
+func (r Rect) RandomPoint(rng *rand.Rand) Point {
+	return Point{
+		X: r.X0 + rng.Float64()*r.Width(),
+		Y: r.Y0 + rng.Float64()*r.Height(),
+	}
+}
+
+// Deployer places n nodes inside a region.
+type Deployer interface {
+	// Deploy returns n points inside region.
+	Deploy(n int, region Rect, rng *rand.Rand) []Point
+}
+
+// Uniform deploys nodes independently and uniformly at random — the default
+// "(randomly) distributed in a monitoring area" assumption.
+type Uniform struct{}
+
+// Deploy implements Deployer.
+func (Uniform) Deploy(n int, region Rect, rng *rand.Rand) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = region.RandomPoint(rng)
+	}
+	return pts
+}
+
+// Grid deploys nodes on a near-square lattice covering the region, with
+// optional uniform jitter (fraction of cell size, in [0,1)). Grid placement
+// is the "nodes distributed evenly" case for which the paper says SPR has
+// good performance.
+type Grid struct {
+	Jitter float64
+}
+
+// Deploy implements Deployer.
+func (g Grid) Deploy(n int, region Rect, rng *rand.Rand) []Point {
+	if n <= 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n) * region.Width() / math.Max(region.Height(), 1e-9))))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	cw, ch := region.Width()/float64(cols), region.Height()/float64(rows)
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		p := Point{
+			X: region.X0 + (float64(c)+0.5)*cw,
+			Y: region.Y0 + (float64(r)+0.5)*ch,
+		}
+		if g.Jitter > 0 {
+			p.X += (rng.Float64() - 0.5) * g.Jitter * cw
+			p.Y += (rng.Float64() - 0.5) * g.Jitter * ch
+		}
+		pts = append(pts, region.Clamp(p))
+	}
+	return pts
+}
+
+// Clusters deploys nodes in K Gaussian clusters with the given standard
+// deviation, modeling uneven deployments (e.g. sensors dropped in batches).
+// Uneven distribution is the case that motivates MLR over SPR in §5.3.
+type Clusters struct {
+	K      int
+	Sigma  float64 // standard deviation of each cluster, meters
+	Center []Point // optional fixed centers; random when empty
+}
+
+// Deploy implements Deployer.
+func (c Clusters) Deploy(n int, region Rect, rng *rand.Rand) []Point {
+	k := c.K
+	if k <= 0 {
+		k = 4
+	}
+	centers := c.Center
+	if len(centers) == 0 {
+		centers = make([]Point, k)
+		for i := range centers {
+			centers[i] = region.RandomPoint(rng)
+		}
+	}
+	sigma := c.Sigma
+	if sigma <= 0 {
+		sigma = math.Min(region.Width(), region.Height()) / 10
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		ctr := centers[rng.Intn(len(centers))]
+		pts[i] = region.Clamp(Point{
+			X: ctr.X + rng.NormFloat64()*sigma,
+			Y: ctr.Y + rng.NormFloat64()*sigma,
+		})
+	}
+	return pts
+}
+
+// Hotspot deploys a fraction of the nodes uniformly and concentrates the
+// rest inside a sub-rectangle, modeling the "forest fire" style regional
+// load of §4.3.
+type Hotspot struct {
+	Spot     Rect    // the dense sub-region
+	Fraction float64 // fraction of nodes inside the hotspot, in [0,1]
+}
+
+// Deploy implements Deployer.
+func (h Hotspot) Deploy(n int, region Rect, rng *rand.Rand) []Point {
+	frac := h.Fraction
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	inSpot := int(math.Round(float64(n) * frac))
+	pts := make([]Point, 0, n)
+	for i := 0; i < inSpot; i++ {
+		pts = append(pts, region.Clamp(h.Spot.RandomPoint(rng)))
+	}
+	for i := inSpot; i < n; i++ {
+		pts = append(pts, region.RandomPoint(rng))
+	}
+	return pts
+}
+
+// PlaceGrid returns k candidate gateway places laid out on a uniform lattice
+// inside region, the "set of feasible places P" of MLR (§5.3). The lattice
+// is as square as possible; extra cells are dropped from the end.
+func PlaceGrid(k int, region Rect) []Point {
+	if k <= 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(k))))
+	rows := (k + cols - 1) / cols
+	cw, ch := region.Width()/float64(cols), region.Height()/float64(rows)
+	pts := make([]Point, 0, k)
+	for i := 0; i < k; i++ {
+		r, c := i/cols, i%cols
+		pts = append(pts, Point{
+			X: region.X0 + (float64(c)+0.5)*cw,
+			Y: region.Y0 + (float64(r)+0.5)*ch,
+		})
+	}
+	return pts
+}
+
+// Centroid returns the arithmetic mean of the points; the zero Point when
+// pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	return c.Scale(1 / float64(len(pts)))
+}
+
+// BoundingBox returns the smallest Rect containing all points; the zero Rect
+// when pts is empty.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{pts[0].X, pts[0].Y, pts[0].X, pts[0].Y}
+	for _, p := range pts[1:] {
+		r.X0 = math.Min(r.X0, p.X)
+		r.Y0 = math.Min(r.Y0, p.Y)
+		r.X1 = math.Max(r.X1, p.X)
+		r.Y1 = math.Max(r.Y1, p.Y)
+	}
+	return r
+}

@@ -1,0 +1,283 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.p.Dist2(c.q); math.Abs(got-c.want*c.want) > 1e-9 {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Square(100)
+	if r.Area() != 10000 {
+		t.Fatalf("Area = %v, want 10000", r.Area())
+	}
+	if c := r.Center(); c != (Point{50, 50}) {
+		t.Fatalf("Center = %v", c)
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{100, 100}) {
+		t.Fatal("Contains rejects boundary points")
+	}
+	if r.Contains(Point{100.01, 50}) {
+		t.Fatal("Contains accepts outside point")
+	}
+	if got := r.Clamp(Point{-5, 120}); got != (Point{0, 100}) {
+		t.Fatalf("Clamp = %v, want (0,100)", got)
+	}
+}
+
+func TestRandomPointInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Rect{10, 20, 30, 60}
+	for i := 0; i < 1000; i++ {
+		if p := r.RandomPoint(rng); !r.Contains(p) {
+			t.Fatalf("RandomPoint %v outside %v", p, r)
+		}
+	}
+}
+
+func TestUniformDeploy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	region := Square(200)
+	pts := (Uniform{}).Deploy(500, region, rng)
+	if len(pts) != 500 {
+		t.Fatalf("deployed %d, want 500", len(pts))
+	}
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+	}
+	// Crude uniformity check: each quadrant should hold a reasonable share.
+	var q [4]int
+	for _, p := range pts {
+		i := 0
+		if p.X > 100 {
+			i |= 1
+		}
+		if p.Y > 100 {
+			i |= 2
+		}
+		q[i]++
+	}
+	for i, n := range q {
+		if n < 70 || n > 180 {
+			t.Fatalf("quadrant %d has %d of 500 points; distribution badly skewed %v", i, n, q)
+		}
+	}
+}
+
+func TestGridDeployCoversRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	region := Square(100)
+	for _, n := range []int{1, 4, 7, 25, 100, 137} {
+		pts := (Grid{}).Deploy(n, region, rng)
+		if len(pts) != n {
+			t.Fatalf("Grid deployed %d, want %d", len(pts), n)
+		}
+		for _, p := range pts {
+			if !region.Contains(p) {
+				t.Fatalf("grid point %v outside region (n=%d)", p, n)
+			}
+		}
+	}
+	if got := (Grid{}).Deploy(0, region, rng); got != nil {
+		t.Fatalf("Grid.Deploy(0) = %v, want nil", got)
+	}
+}
+
+func TestGridDeployDistinctWithoutJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := (Grid{}).Deploy(64, Square(100), rng)
+	seen := map[Point]bool{}
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate grid point %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestGridJitterStaysInRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	region := Square(50)
+	for _, p := range (Grid{Jitter: 0.9}).Deploy(200, region, rng) {
+		if !region.Contains(p) {
+			t.Fatalf("jittered point %v escaped region", p)
+		}
+	}
+}
+
+func TestClustersDeploy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	region := Square(300)
+	c := Clusters{K: 3, Sigma: 10, Center: []Point{{50, 50}, {150, 150}, {250, 250}}}
+	pts := c.Deploy(600, region, rng)
+	if len(pts) != 600 {
+		t.Fatalf("deployed %d, want 600", len(pts))
+	}
+	near := 0
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("cluster point %v outside region", p)
+		}
+		for _, ctr := range c.Center {
+			if p.Dist(ctr) < 40 {
+				near++
+				break
+			}
+		}
+	}
+	if near < 550 {
+		t.Fatalf("only %d/600 points near cluster centers; clustering broken", near)
+	}
+}
+
+func TestClustersDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	region := Square(100)
+	pts := (Clusters{}).Deploy(50, region, rng)
+	if len(pts) != 50 {
+		t.Fatalf("deployed %d, want 50", len(pts))
+	}
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+	}
+}
+
+func TestHotspotDeploy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	region := Square(100)
+	spot := Rect{0, 0, 20, 20}
+	pts := (Hotspot{Spot: spot, Fraction: 0.6}).Deploy(500, region, rng)
+	inSpot := 0
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+		if spot.Contains(p) {
+			inSpot++
+		}
+	}
+	// 300 placed deliberately plus ~4% of the 200 uniform ones.
+	if inSpot < 290 || inSpot > 340 {
+		t.Fatalf("hotspot holds %d of 500 points, want ~300-320", inSpot)
+	}
+}
+
+func TestHotspotFractionClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	region := Square(100)
+	spot := Rect{0, 0, 10, 10}
+	if pts := (Hotspot{Spot: spot, Fraction: 2}).Deploy(20, region, rng); len(pts) != 20 {
+		t.Fatalf("Fraction>1 deployed %d, want 20", len(pts))
+	}
+	if pts := (Hotspot{Spot: spot, Fraction: -1}).Deploy(20, region, rng); len(pts) != 20 {
+		t.Fatalf("Fraction<0 deployed %d, want 20", len(pts))
+	}
+}
+
+func TestPlaceGrid(t *testing.T) {
+	region := Square(100)
+	for _, k := range []int{1, 3, 5, 9, 16} {
+		pts := PlaceGrid(k, region)
+		if len(pts) != k {
+			t.Fatalf("PlaceGrid(%d) returned %d places", k, len(pts))
+		}
+		for _, p := range pts {
+			if !region.Contains(p) {
+				t.Fatalf("place %v outside region", p)
+			}
+		}
+	}
+	if PlaceGrid(0, region) != nil {
+		t.Fatal("PlaceGrid(0) should be nil")
+	}
+}
+
+func TestPlaceGridSpread(t *testing.T) {
+	pts := PlaceGrid(4, Square(100))
+	// 2x2 lattice: centers of the four quadrants.
+	want := map[Point]bool{{25, 25}: true, {75, 25}: true, {25, 75}: true, {75, 75}: true}
+	for _, p := range pts {
+		if !want[p] {
+			t.Fatalf("unexpected place %v in %v", p, pts)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if c := Centroid(nil); c != (Point{}) {
+		t.Fatalf("Centroid(nil) = %v", c)
+	}
+	c := Centroid([]Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}})
+	if c != (Point{5, 5}) {
+		t.Fatalf("Centroid = %v, want (5,5)", c)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if bb := BoundingBox(nil); bb != (Rect{}) {
+		t.Fatalf("BoundingBox(nil) = %v", bb)
+	}
+	bb := BoundingBox([]Point{{3, 7}, {-1, 2}, {5, 4}})
+	if bb != (Rect{-1, 2, 5, 7}) {
+		t.Fatalf("BoundingBox = %v", bb)
+	}
+}
+
+// Property: every deployer keeps every point inside the region.
+func TestQuickDeployersRespectRegion(t *testing.T) {
+	deployers := []Deployer{Uniform{}, Grid{Jitter: 0.5}, Clusters{K: 2, Sigma: 30},
+		Hotspot{Spot: Rect{10, 10, 30, 30}, Fraction: 0.5}}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		region := Rect{5, 5, 105, 85}
+		for _, d := range deployers {
+			for _, p := range d.Deploy(n, region, rng) {
+				if !region.Contains(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+package mesh
+
+import (
+	"testing"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// meshWorld builds a backbone of mesh routers at the given positions with
+// the given radio range. IDs are 100+i.
+func meshWorld(t testing.TB, seed int64, positions []geom.Point, rangeM float64) (*node.World, *Backbone, []packet.NodeID) {
+	t.Helper()
+	w := node.NewWorld(node.Config{Seed: seed})
+	var devs []*node.Device
+	var ids []packet.NodeID
+	for i, pos := range positions {
+		id := packet.NodeID(100 + i)
+		devs = append(devs, w.AddMeshRouter(id, pos, rangeM))
+		ids = append(ids, id)
+	}
+	return w, NewBackbone(DefaultConfig(), devs...), ids
+}
+
+func chain(n int, spacing float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * spacing}
+	}
+	return pts
+}
+
+func TestMeshSelfOrganizes(t *testing.T) {
+	w, b, ids := meshWorld(t, 1, chain(5, 100), 150)
+	w.Run(20 * sim.Second)
+	// Every router should know a route to every other.
+	for _, src := range ids {
+		r := b.Router(src)
+		for _, dst := range ids {
+			if dst == src {
+				continue
+			}
+			if !r.Reachable(dst) {
+				t.Fatalf("router %v has no route to %v (routes=%v)", src, dst, r.routes)
+			}
+		}
+	}
+	// Next hops follow the chain.
+	if nh, _ := b.Router(ids[0]).NextHop(ids[4]); nh != ids[1] {
+		t.Fatalf("NextHop(end) = %v, want %v", nh, ids[1])
+	}
+	if nh, _ := b.Router(ids[2]).NextHop(ids[0]); nh != ids[1] {
+		t.Fatalf("NextHop(back) = %v, want %v", nh, ids[1])
+	}
+}
+
+func TestMeshDeliversAcrossHops(t *testing.T) {
+	w, b, ids := meshWorld(t, 1, chain(5, 100), 150)
+	w.Run(20 * sim.Second)
+	var got []*packet.Packet
+	b.Router(ids[4]).OnDeliver = func(p *packet.Packet) { got = append(got, p.Clone()) }
+	if !b.Router(ids[0]).SendTo(ids[4], 7, 42, []byte("sensor reading")) {
+		t.Fatal("SendTo failed")
+	}
+	w.Run(w.Kernel().Now() + 5*sim.Second)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+	p := got[0]
+	if p.Origin != 7 || p.Seq != 42 || string(p.Payload) != "sensor reading" {
+		t.Fatalf("delivered packet corrupted: %+v", p)
+	}
+	if p.Hops < 4 {
+		t.Fatalf("hops = %d, want >= 4 across the chain", p.Hops)
+	}
+}
+
+func TestMeshLocalDelivery(t *testing.T) {
+	w, b, ids := meshWorld(t, 1, chain(2, 100), 150)
+	w.Run(5 * sim.Second)
+	got := 0
+	b.Router(ids[0]).OnDeliver = func(*packet.Packet) { got++ }
+	if !b.Router(ids[0]).SendTo(ids[0], 1, 1, []byte("loop")) {
+		t.Fatal("local SendTo failed")
+	}
+	if got != 1 {
+		t.Fatal("local delivery did not invoke OnDeliver synchronously")
+	}
+}
+
+func TestMeshSelfHealsAroundFailedRouter(t *testing.T) {
+	// Diamond: 100 -- {101 top, 102 bottom} -- 103.
+	pts := []geom.Point{
+		{X: 0, Y: 0},     // 100
+		{X: 100, Y: 60},  // 101
+		{X: 100, Y: -60}, // 102
+		{X: 200, Y: 0},   // 103
+	}
+	w, b, ids := meshWorld(t, 2, pts, 150)
+	w.Run(20 * sim.Second)
+	if !b.Router(ids[0]).Reachable(ids[3]) {
+		t.Fatal("no initial route across diamond")
+	}
+	// Kill whichever router node 100 currently routes through.
+	nh, _ := b.Router(ids[0]).NextHop(ids[3])
+	w.Device(nh).Fail()
+	// Wait for hello timeout (3 intervals) plus convergence.
+	w.Run(w.Kernel().Now() + 15*sim.Second)
+	nh2, ok := b.Router(ids[0]).NextHop(ids[3])
+	if !ok {
+		t.Fatal("route not re-established after failure")
+	}
+	if nh2 == nh {
+		t.Fatalf("route still points at dead router %v", nh)
+	}
+	delivered := 0
+	b.Router(ids[3]).OnDeliver = func(*packet.Packet) { delivered++ }
+	b.Router(ids[0]).SendTo(ids[3], 1, 1, []byte("after failover"))
+	w.Run(w.Kernel().Now() + 5*sim.Second)
+	if delivered != 1 {
+		t.Fatal("data not delivered over the healed backbone")
+	}
+}
+
+func TestMeshPartitionDropsData(t *testing.T) {
+	w, b, ids := meshWorld(t, 1, chain(3, 100), 150)
+	w.Run(20 * sim.Second)
+	// Kill the middle router: 0 and 2 are partitioned.
+	w.Device(ids[1]).Fail()
+	w.Run(w.Kernel().Now() + 15*sim.Second)
+	if b.Router(ids[0]).Reachable(ids[2]) {
+		t.Fatal("partitioned destination still in routing table")
+	}
+	if b.Router(ids[0]).SendTo(ids[2], 1, 1, []byte("x")) {
+		t.Fatal("SendTo succeeded across a partition")
+	}
+	if b.Router(ids[0]).Stats().DataDropped == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestMeshJoiningRouterIntegrates(t *testing.T) {
+	w, b, ids := meshWorld(t, 3, chain(2, 100), 150)
+	w.Run(20 * sim.Second)
+	// A third router appears beyond radio range of router 0.
+	d := w.AddMeshRouter(200, geom.Point{X: 200}, 150)
+	r := NewRouter(DefaultConfig())
+	r.Attach(d)
+	w.Run(w.Kernel().Now() + 20*sim.Second)
+	if !b.Router(ids[0]).Reachable(200) {
+		t.Fatal("existing router never learned the newcomer")
+	}
+	if !r.Reachable(ids[0]) {
+		t.Fatal("newcomer never learned the existing mesh")
+	}
+	delivered := 0
+	r.OnDeliver = func(*packet.Packet) { delivered++ }
+	b.Router(ids[0]).SendTo(200, 5, 5, []byte("welcome"))
+	w.Run(w.Kernel().Now() + 5*sim.Second)
+	if delivered != 1 {
+		t.Fatal("data to newcomer lost")
+	}
+}
+
+func TestMeshGatewayToBaseStation(t *testing.T) {
+	// The real WMSN shape: gateways + WMRs + one base station.
+	w := node.NewWorld(node.Config{Seed: 4})
+	gw := w.AddGateway(1000, geom.Point{X: 0}, 30, 150, nil)
+	wmr := w.AddMeshRouter(500, geom.Point{X: 120}, 150)
+	bs := w.AddBaseStation(2000, geom.Point{X: 240}, 150)
+	b := NewBackbone(DefaultConfig(), gw, wmr, bs)
+	w.Run(20 * sim.Second)
+	var got []*packet.Packet
+	b.Router(2000).OnDeliver = func(p *packet.Packet) { got = append(got, p.Clone()) }
+	if !b.Router(1000).SendTo(2000, 42, 1, []byte("temp=20")) {
+		t.Fatal("gateway SendTo failed")
+	}
+	w.Run(w.Kernel().Now() + 5*sim.Second)
+	if len(got) != 1 || got[0].Origin != 42 {
+		t.Fatalf("base station deliveries: %v", got)
+	}
+	st := b.TotalStats()
+	if st.HellosSent == 0 || st.LSAsSent == 0 || st.DataForwarded == 0 {
+		t.Fatalf("stats incomplete: %+v", st)
+	}
+}
+
+func TestMeshLSARoundTrip(t *testing.T) {
+	seq, nbrs, ok := parseLSA(marshalLSA(9, []packet.NodeID{1, 2, 3}))
+	if !ok || seq != 9 || len(nbrs) != 3 || nbrs[2] != 3 {
+		t.Fatalf("LSA round trip: %d %v %v", seq, nbrs, ok)
+	}
+	if _, _, ok := parseLSA([]byte{1, 2}); ok {
+		t.Fatal("short LSA parsed")
+	}
+	if _, _, ok := parseLSA(marshalLSA(1, []packet.NodeID{1, 2})[:8]); ok {
+		t.Fatal("truncated LSA parsed")
+	}
+}
+
+func TestMeshStopHaltsControlPlane(t *testing.T) {
+	w, b, ids := meshWorld(t, 5, chain(2, 100), 150)
+	w.Run(10 * sim.Second)
+	r := b.Router(ids[0])
+	hellos := r.Stats().HellosSent
+	r.Stop()
+	w.Run(w.Kernel().Now() + 20*sim.Second)
+	if r.Stats().HellosSent != hellos {
+		t.Fatal("stopped router kept beaconing")
+	}
+}
+
+func TestMeshDefaultConfigFallback(t *testing.T) {
+	r := NewRouter(Config{})
+	if r.Cfg.HelloInterval <= 0 || r.Cfg.TTL == 0 {
+		t.Fatalf("zero config not defaulted: %+v", r.Cfg)
+	}
+}
+
+// TestMeshRouterMobility moves a WMR mid-run: neighbors must time out its
+// old links, learn the new ones from HELLOs, and re-route traffic through
+// its new position (§3.2's "support the mobility of WMGs and WMRs").
+func TestMeshRouterMobility(t *testing.T) {
+	// 100 -- 101 -- 102, relay 101 then moves next to a different pair:
+	// 100 -- ... -- 102 breaks, and 100 -- 101' -- 103 forms.
+	pts := []geom.Point{
+		{X: 0},           // 100
+		{X: 120},         // 101 (mobile relay)
+		{X: 240},         // 102
+		{X: 120, Y: 300}, // 103 (reachable only after the move)
+	}
+	w, b, ids := meshWorld(t, 7, pts, 150)
+	w.Run(20 * sim.Second)
+	if !b.Router(ids[0]).Reachable(ids[2]) {
+		t.Fatal("initial chain never formed")
+	}
+	if b.Router(ids[0]).Reachable(ids[3]) {
+		t.Fatal("node 103 should start unreachable")
+	}
+	// Node 103 parks at (120,240) and the relay drives to (80,120):
+	// distances become 100-relay 144 m and relay-103 126 m (both within the
+	// 150 m mesh range) while relay-102 stretches to ~200 m (link lost).
+	w.Device(ids[3]).Move(geom.Point{X: 120, Y: 240})
+	w.Device(ids[1]).Move(geom.Point{X: 80, Y: 120})
+	w.Run(w.Kernel().Now() + 30*sim.Second) // timeouts + re-advertisement
+	r0 := b.Router(ids[0])
+	if !r0.Reachable(ids[3]) {
+		t.Fatalf("node 103 unreachable after relay moved (routes=%v)", r0.routes)
+	}
+	if r0.Reachable(ids[2]) {
+		t.Fatal("stale route to 102 survived the move")
+	}
+	delivered := 0
+	b.Router(ids[3]).OnDeliver = func(*packet.Packet) { delivered++ }
+	r0.SendTo(ids[3], 1, 1, []byte("after move"))
+	w.Run(w.Kernel().Now() + 5*sim.Second)
+	if delivered != 1 {
+		t.Fatal("data not delivered through the moved relay")
+	}
+}

@@ -1,0 +1,243 @@
+// Package network provides the connectivity-graph view of a deployed WMSN:
+// unit-disk adjacency, reference shortest paths (the optimum SPR should
+// find), connectivity analysis used by the deployment tools, and the
+// topology-control mechanisms of §4.4 (power control and sleep scheduling).
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+)
+
+// Graph is an undirected unit-disk connectivity graph. Vertices are node
+// IDs; an edge joins two vertices whose distance is within both their
+// ranges ("two nodes can immediately communicate with each other", §5.1).
+type Graph struct {
+	ids []packet.NodeID
+	pos map[packet.NodeID]geom.Point
+	adj map[packet.NodeID][]packet.NodeID
+}
+
+// Build constructs the graph for the given positions and per-node ranges.
+// A link requires dist ≤ min(range[a], range[b]) so that every edge is
+// bidirectional.
+func Build(pos map[packet.NodeID]geom.Point, ranges map[packet.NodeID]float64) *Graph {
+	g := &Graph{
+		pos: make(map[packet.NodeID]geom.Point, len(pos)),
+		adj: make(map[packet.NodeID][]packet.NodeID, len(pos)),
+	}
+	for id, p := range pos {
+		g.ids = append(g.ids, id)
+		g.pos[id] = p
+	}
+	sort.Slice(g.ids, func(i, j int) bool { return g.ids[i] < g.ids[j] })
+	for i, a := range g.ids {
+		for _, b := range g.ids[i+1:] {
+			r := ranges[a]
+			if rb := ranges[b]; rb < r {
+				r = rb
+			}
+			if g.pos[a].Dist(g.pos[b]) <= r {
+				g.adj[a] = append(g.adj[a], b)
+				g.adj[b] = append(g.adj[b], a)
+			}
+		}
+	}
+	return g
+}
+
+// FromWorld builds the sensor-layer connectivity graph of a world,
+// considering only living devices that have a sensor-layer radio (sensors
+// and gateways).
+func FromWorld(w *node.World) *Graph {
+	pos := make(map[packet.NodeID]geom.Point)
+	ranges := make(map[packet.NodeID]float64)
+	for _, d := range w.Devices() {
+		if !d.Alive() || d.SensorStation() == nil {
+			continue
+		}
+		pos[d.ID()] = d.SensorStation().Pos()
+		ranges[d.ID()] = d.SensorStation().Range()
+	}
+	return Build(pos, ranges)
+}
+
+// IDs returns all vertices in ascending order.
+func (g *Graph) IDs() []packet.NodeID { return g.ids }
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.ids) }
+
+// Pos returns the position of id.
+func (g *Graph) Pos(id packet.NodeID) geom.Point { return g.pos[id] }
+
+// Has reports whether id is a vertex.
+func (g *Graph) Has(id packet.NodeID) bool { _, ok := g.pos[id]; return ok }
+
+// Neighbors returns id's adjacency list in ascending order.
+func (g *Graph) Neighbors(id packet.NodeID) []packet.NodeID { return g.adj[id] }
+
+// Degree returns the number of neighbors of id.
+func (g *Graph) Degree(id packet.NodeID) int { return len(g.adj[id]) }
+
+// AvgDegree returns the mean vertex degree.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.ids) == 0 {
+		return 0
+	}
+	total := 0
+	for _, id := range g.ids {
+		total += len(g.adj[id])
+	}
+	return float64(total) / float64(len(g.ids))
+}
+
+// Unreachable marks an infinite BFS distance.
+const Unreachable = int(^uint(0) >> 1)
+
+// BFS computes hop distances and BFS parents from src. Vertices not reached
+// are absent from both maps.
+func (g *Graph) BFS(src packet.NodeID) (dist map[packet.NodeID]int, parent map[packet.NodeID]packet.NodeID) {
+	dist = make(map[packet.NodeID]int)
+	parent = make(map[packet.NodeID]packet.NodeID)
+	if !g.Has(src) {
+		return dist, parent
+	}
+	dist[src] = 0
+	queue := []packet.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if _, seen := dist[v]; !seen {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Hops returns the hop distance from src to dst, or Unreachable.
+func (g *Graph) Hops(src, dst packet.NodeID) int {
+	dist, _ := g.BFS(src)
+	if d, ok := dist[dst]; ok {
+		return d
+	}
+	return Unreachable
+}
+
+// ShortestPath returns a minimum-hop path from src to dst inclusive, or nil
+// when unreachable.
+func (g *Graph) ShortestPath(src, dst packet.NodeID) []packet.NodeID {
+	dist, parent := g.BFS(src)
+	if _, ok := dist[dst]; !ok {
+		return nil
+	}
+	var rev []packet.NodeID
+	for at := dst; ; {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+		at = parent[at]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// NearestOf returns the destination in dsts with the fewest hops from src
+// and that hop count; ties break toward the smaller ID. Returns
+// (packet.None, Unreachable) when none is reachable.
+func (g *Graph) NearestOf(src packet.NodeID, dsts []packet.NodeID) (packet.NodeID, int) {
+	dist, _ := g.BFS(src)
+	best, bestHops := packet.None, Unreachable
+	for _, d := range dsts {
+		h, ok := dist[d]
+		if !ok {
+			continue
+		}
+		if h < bestHops || (h == bestHops && d < best) {
+			best, bestHops = d, h
+		}
+	}
+	return best, bestHops
+}
+
+// Connected reports whether the graph is a single connected component (an
+// empty graph counts as connected).
+func (g *Graph) Connected() bool { return len(g.Components()) <= 1 }
+
+// Components returns the connected components, each sorted ascending, in
+// order of their smallest member.
+func (g *Graph) Components() [][]packet.NodeID {
+	seen := make(map[packet.NodeID]bool, len(g.ids))
+	var comps [][]packet.NodeID
+	for _, start := range g.ids {
+		if seen[start] {
+			continue
+		}
+		var comp []packet.NodeID
+		queue := []packet.NodeID{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// AvgHopsToNearest returns the average over srcs of the hop distance to the
+// nearest of dsts, counting only reachable sources, plus the count of
+// unreachable sources. This is the paper's Fig. 2 / E1 metric.
+func (g *Graph) AvgHopsToNearest(srcs, dsts []packet.NodeID) (avg float64, unreachable int) {
+	total, n := 0, 0
+	for _, s := range srcs {
+		_, h := g.NearestOf(s, dsts)
+		if h == Unreachable {
+			unreachable++
+			continue
+		}
+		total += h
+		n++
+	}
+	if n == 0 {
+		return 0, unreachable
+	}
+	return float64(total) / float64(n), unreachable
+}
+
+// VerifySubpathOptimality checks Property 1 of §5.2 on the shortest path
+// from src to dst: every suffix of a shortest path must itself be a
+// shortest path. It returns an error describing the first violation (which,
+// for a correct BFS, never happens — the test suite uses this as an oracle).
+func (g *Graph) VerifySubpathOptimality(src, dst packet.NodeID) error {
+	path := g.ShortestPath(src, dst)
+	if path == nil {
+		return nil
+	}
+	for i := 1; i < len(path); i++ {
+		want := len(path) - 1 - i
+		if got := g.Hops(path[i], dst); got != want {
+			return fmt.Errorf("suffix from %v has %d hops, expected %d", path[i], got, want)
+		}
+	}
+	return nil
+}

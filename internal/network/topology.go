@@ -1,0 +1,255 @@
+package network
+
+import (
+	"math"
+	"sort"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Topology control (§4.4): "Current topology control technologies fall into
+// two categories: power control and sleep scheduling."
+
+// PowerControlK computes, for each node, the minimal transmission range that
+// keeps at least k neighbors reachable (or all other nodes when fewer than
+// k exist), clamped to maxRange. This is the classic k-neighbor power
+// control: shrinking ranges saves transmission energy and reduces contention
+// while preserving local connectivity.
+func PowerControlK(pos map[packet.NodeID]geom.Point, k int, maxRange float64) map[packet.NodeID]float64 {
+	out := make(map[packet.NodeID]float64, len(pos))
+	ids := make([]packet.NodeID, 0, len(pos))
+	for id := range pos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		var dists []float64
+		for _, other := range ids {
+			if other == id {
+				continue
+			}
+			dists = append(dists, pos[id].Dist(pos[other]))
+		}
+		sort.Float64s(dists)
+		idx := k - 1
+		if idx >= len(dists) {
+			idx = len(dists) - 1
+		}
+		r := maxRange
+		if idx >= 0 && idx < len(dists) && dists[idx] < maxRange {
+			r = dists[idx]
+		}
+		if len(dists) == 0 {
+			r = 0
+		}
+		out[id] = r
+	}
+	return out
+}
+
+// ApplyRanges installs per-node ranges onto a world's sensor stations.
+// Unknown IDs and dead devices are skipped.
+func ApplyRanges(w *node.World, ranges map[packet.NodeID]float64) {
+	for id, r := range ranges {
+		d := w.Device(id)
+		if d == nil || !d.Alive() || d.SensorStation() == nil {
+			continue
+		}
+		d.SensorStation().SetRange(r)
+	}
+}
+
+// SleepScheduler duty-cycles sensor radios: each node listens for
+// OnFraction of every Period, with a per-node phase offset so the whole
+// network is never deaf at once. Transmission is always allowed; only the
+// receiver sleeps (matching low-power-listening practice).
+type SleepScheduler struct {
+	Period     sim.Duration
+	OnFraction float64
+
+	world   *node.World
+	targets []packet.NodeID
+	stopped bool
+}
+
+// NewSleepScheduler creates a scheduler over the given sensor IDs; empty ids
+// selects every sensor in the world.
+func NewSleepScheduler(w *node.World, period sim.Duration, onFraction float64, ids []packet.NodeID) *SleepScheduler {
+	if onFraction < 0 {
+		onFraction = 0
+	}
+	if onFraction > 1 {
+		onFraction = 1
+	}
+	if len(ids) == 0 {
+		for _, d := range w.DevicesOfKind(node.Sensor) {
+			ids = append(ids, d.ID())
+		}
+	}
+	return &SleepScheduler{Period: period, OnFraction: onFraction, world: w, targets: ids}
+}
+
+// Start begins duty cycling. Each node wakes at a random phase within the
+// first period (deterministic under the world seed).
+func (s *SleepScheduler) Start() {
+	if s.OnFraction >= 1 {
+		return // always on; nothing to schedule
+	}
+	k := s.world.Kernel()
+	onSpan := sim.Duration(float64(s.Period) * s.OnFraction)
+	for _, id := range s.targets {
+		id := id
+		phase := sim.Duration(k.Rand().Int63n(int64(s.Period)))
+		var cycle func()
+		cycle = func() {
+			if s.stopped {
+				return
+			}
+			d := s.world.Device(id)
+			if d == nil || !d.Alive() || d.SensorStation() == nil {
+				return
+			}
+			d.SensorStation().SetListening(true)
+			k.After(onSpan, func() {
+				if s.stopped {
+					return
+				}
+				if d := s.world.Device(id); d != nil && d.Alive() && d.SensorStation() != nil {
+					d.SensorStation().SetListening(false)
+				}
+				k.After(s.Period-onSpan, cycle)
+			})
+		}
+		k.After(phase, cycle)
+	}
+}
+
+// Stop halts future duty-cycle transitions and wakes every surviving target
+// so the network is usable again.
+func (s *SleepScheduler) Stop() {
+	s.stopped = true
+	for _, id := range s.targets {
+		if d := s.world.Device(id); d != nil && d.Alive() && d.SensorStation() != nil {
+			d.SensorStation().SetListening(true)
+		}
+	}
+}
+
+// GAFScheduler implements GAF (Geographic Adaptive Fidelity, §2.2.3 [26]):
+// the field is divided into virtual grid cells of edge range/√5 — small
+// enough that any node in a cell can talk to any node in each adjacent
+// cell — making all nodes within a cell equivalent for routing. One leader
+// per cell keeps its radio on; the others sleep, and leadership rotates
+// every Term so the duty burden is shared.
+type GAFScheduler struct {
+	// CellEdge is the virtual grid edge; 0 derives range/√5 from the first
+	// target's radio range.
+	CellEdge float64
+	// Term is the leadership rotation period.
+	Term sim.Duration
+
+	world   *node.World
+	cells   map[[2]int][]packet.NodeID
+	turn    int
+	stopped bool
+	rep     *sim.Repeater
+}
+
+// NewGAFScheduler builds the virtual grid over the given sensors (all
+// sensors when ids is empty).
+func NewGAFScheduler(w *node.World, cellEdge float64, term sim.Duration, ids []packet.NodeID) *GAFScheduler {
+	if len(ids) == 0 {
+		for _, d := range w.DevicesOfKind(node.Sensor) {
+			ids = append(ids, d.ID())
+		}
+	}
+	g := &GAFScheduler{CellEdge: cellEdge, Term: term, world: w,
+		cells: make(map[[2]int][]packet.NodeID)}
+	for _, id := range ids {
+		d := w.Device(id)
+		if d == nil || d.SensorStation() == nil {
+			continue
+		}
+		if g.CellEdge <= 0 {
+			g.CellEdge = d.SensorStation().Range() / math.Sqrt(5)
+		}
+		p := d.Pos()
+		key := [2]int{int(math.Floor(p.X / g.CellEdge)), int(math.Floor(p.Y / g.CellEdge))}
+		g.cells[key] = append(g.cells[key], id)
+	}
+	// Deterministic member order within each cell.
+	for _, members := range g.cells {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	}
+	return g
+}
+
+// Cells returns the number of occupied grid cells.
+func (g *GAFScheduler) Cells() int { return len(g.cells) }
+
+// Leader returns the current leader of the cell containing id, or
+// packet.None when id is unknown.
+func (g *GAFScheduler) Leader(id packet.NodeID) packet.NodeID {
+	for _, members := range g.cells {
+		for _, m := range members {
+			if m == id {
+				return g.leaderOf(members)
+			}
+		}
+	}
+	return packet.None
+}
+
+func (g *GAFScheduler) leaderOf(members []packet.NodeID) packet.NodeID {
+	// Rotate through living members; the turn counter advances per term.
+	for off := 0; off < len(members); off++ {
+		id := members[(g.turn+off)%len(members)]
+		if d := g.world.Device(id); d != nil && d.Alive() {
+			return id
+		}
+	}
+	return packet.None
+}
+
+// Start applies the first leadership assignment and begins rotating.
+func (g *GAFScheduler) Start() {
+	g.apply()
+	g.rep = g.world.Kernel().Every(g.Term, func() {
+		if g.stopped {
+			return
+		}
+		g.turn++
+		g.apply()
+	})
+}
+
+func (g *GAFScheduler) apply() {
+	for _, members := range g.cells {
+		leader := g.leaderOf(members)
+		for _, id := range members {
+			d := g.world.Device(id)
+			if d == nil || !d.Alive() || d.SensorStation() == nil {
+				continue
+			}
+			d.SensorStation().SetListening(id == leader)
+		}
+	}
+}
+
+// Stop halts rotation and wakes every surviving node.
+func (g *GAFScheduler) Stop() {
+	g.stopped = true
+	if g.rep != nil {
+		g.rep.Stop()
+	}
+	for _, members := range g.cells {
+		for _, id := range members {
+			if d := g.world.Device(id); d != nil && d.Alive() && d.SensorStation() != nil {
+				d.SensorStation().SetListening(true)
+			}
+		}
+	}
+}

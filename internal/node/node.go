@@ -1,0 +1,519 @@
+// Package node binds the simulator substrates together: a Device is a node
+// with a radio station, a battery and a protocol stack; a World owns the
+// event kernel, the two radio media (sensor layer and mesh backbone) and
+// every device, and tracks lifetime events such as the first battery death.
+//
+// The architecture mirrors the paper's Fig. 1: Sensor devices attach only to
+// the sensor medium (802.15.4-like), MeshRouter devices only to the mesh
+// medium (802.11-like), and Gateway devices (WMGs) to both, acting as sink
+// nodes of the sensor layer and routers of the mesh layer. BaseStation
+// devices sit on the mesh medium and represent the Internet egress.
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"wmsn/internal/energy"
+	"wmsn/internal/geom"
+	"wmsn/internal/packet"
+	"wmsn/internal/radio"
+	"wmsn/internal/sim"
+)
+
+// Kind classifies devices per the paper's three-plus-one node taxonomy.
+type Kind uint8
+
+// Device kinds.
+const (
+	Sensor      Kind = iota // low-power sensing node, 802.15.4 only
+	Gateway                 // WMG: sensor-layer sink + mesh router
+	MeshRouter              // WMR: mesh backbone relay only
+	BaseStation             // mesh egress to the Internet
+)
+
+var kindNames = [...]string{"sensor", "gateway", "mesh-router", "base-station"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Stack is a protocol state machine attached to a device's sensor-layer
+// radio (SPR, MLR, SecMLR, or a baseline).
+type Stack interface {
+	// Start is invoked once when the device enters the world; the stack
+	// keeps dev for sending and timer scheduling.
+	Start(dev *Device)
+	// HandleMessage is invoked for every successfully received (and
+	// energy-charged) sensor-layer packet addressed to this node or
+	// broadcast.
+	HandleMessage(pkt *packet.Packet)
+}
+
+// Device is one node in the world.
+type Device struct {
+	id    packet.NodeID
+	kind  Kind
+	world *World
+
+	sensorSt *radio.Station // nil for MeshRouter/BaseStation
+	meshSt   *radio.Station // nil for Sensor
+
+	battery *energy.Battery
+	model   energy.Model
+
+	stack       Stack
+	meshHandler func(*packet.Packet)
+
+	alive bool
+	// Promiscuous devices receive unicast packets addressed to others
+	// (used by eavesdropping and wormhole attackers).
+	Promiscuous bool
+
+	// Counters for overhead accounting.
+	SentPackets uint64
+	SentBytes   uint64
+	RecvPackets uint64
+}
+
+// ID returns the device's node ID.
+func (d *Device) ID() packet.NodeID { return d.id }
+
+// Kind returns the device kind.
+func (d *Device) Kind() Kind { return d.kind }
+
+// World returns the owning world.
+func (d *Device) World() *World { return d.world }
+
+// Pos returns the device's position (sensor station when present, otherwise
+// mesh station).
+func (d *Device) Pos() geom.Point {
+	if d.sensorSt != nil {
+		return d.sensorSt.Pos()
+	}
+	if d.meshSt != nil {
+		return d.meshSt.Pos()
+	}
+	return geom.Point{}
+}
+
+// Move relocates the device on every medium it is attached to.
+func (d *Device) Move(p geom.Point) {
+	if d.sensorSt != nil {
+		d.sensorSt.Move(p)
+	}
+	if d.meshSt != nil {
+		d.meshSt.Move(p)
+	}
+}
+
+// Battery returns the device's battery.
+func (d *Device) Battery() *energy.Battery { return d.battery }
+
+// Alive reports whether the device is operating.
+func (d *Device) Alive() bool { return d.alive }
+
+// Stack returns the sensor-layer protocol stack.
+func (d *Device) Stack() Stack { return d.stack }
+
+// SensorStation returns the sensor-layer radio attachment, or nil.
+func (d *Device) SensorStation() *radio.Station { return d.sensorSt }
+
+// MeshStation returns the mesh-layer radio attachment, or nil.
+func (d *Device) MeshStation() *radio.Station { return d.meshSt }
+
+// SetMeshHandler registers the mesh-layer receive hook (used by the mesh
+// routing implementation on gateways, routers and base stations).
+func (d *Device) SetMeshHandler(f func(*packet.Packet)) { d.meshHandler = f }
+
+// Now returns the current virtual time.
+func (d *Device) Now() sim.Time { return d.world.kernel.Now() }
+
+// After schedules fn on the world's kernel.
+func (d *Device) After(delay sim.Duration, fn func()) *sim.Timer {
+	return d.world.kernel.After(delay, fn)
+}
+
+// Send transmits pkt on the sensor-layer medium, charging transmission
+// energy. It reports whether the transmission happened (false when the
+// device is dead, detached from the sensor medium, or the battery browned
+// out mid-packet, which also kills the device).
+func (d *Device) Send(pkt *packet.Packet) bool {
+	if !d.alive || d.sensorSt == nil {
+		return false
+	}
+	cost := d.model.TxCost(pkt.SizeBits(), d.sensorSt.Range())
+	if !d.battery.DrawTx(cost) {
+		d.world.kill(d, "battery")
+		return false
+	}
+	d.SentPackets++
+	d.SentBytes += uint64(pkt.Size())
+	d.world.emitTrace("tx", d.id, pkt, "")
+	d.world.sensorMedium.Transmit(d.sensorSt, pkt)
+	return true
+}
+
+// SendRange transmits pkt on the sensor layer at a temporarily boosted (or
+// reduced) transmission range, charging energy for that range. LEACH-style
+// protocols use this for direct long-distance hops to cluster heads and
+// sinks.
+func (d *Device) SendRange(pkt *packet.Packet, rangeM float64) bool {
+	if !d.alive || d.sensorSt == nil {
+		return false
+	}
+	orig := d.sensorSt.Range()
+	d.sensorSt.SetRange(rangeM)
+	cost := d.model.TxCost(pkt.SizeBits(), rangeM)
+	if !d.battery.DrawTx(cost) {
+		d.sensorSt.SetRange(orig)
+		d.world.kill(d, "battery")
+		return false
+	}
+	d.SentPackets++
+	d.SentBytes += uint64(pkt.Size())
+	d.world.emitTrace("tx", d.id, pkt, "")
+	d.world.sensorMedium.Transmit(d.sensorSt, pkt)
+	d.sensorSt.SetRange(orig)
+	return true
+}
+
+// SensorNeighbors returns the IDs of nodes currently within sensor-layer
+// radio range — the simulator's stand-in for HELLO-based neighbor discovery.
+func (d *Device) SensorNeighbors() []packet.NodeID {
+	if d.sensorSt == nil {
+		return nil
+	}
+	return d.world.sensorMedium.Neighbors(d.id)
+}
+
+// SendMesh transmits pkt on the mesh medium. Mesh nodes are mains- or
+// generator-powered in the architecture, but energy is still accounted.
+func (d *Device) SendMesh(pkt *packet.Packet) bool {
+	if !d.alive || d.meshSt == nil {
+		return false
+	}
+	cost := d.model.TxCost(pkt.SizeBits(), d.meshSt.Range())
+	if !d.battery.DrawTx(cost) {
+		d.world.kill(d, "battery")
+		return false
+	}
+	d.SentPackets++
+	d.SentBytes += uint64(pkt.Size())
+	d.world.emitTrace("mesh-tx", d.id, pkt, "")
+	d.world.meshMedium.Transmit(d.meshSt, pkt)
+	return true
+}
+
+// receive handles a sensor-layer delivery: charges reception energy, filters
+// unicast packets addressed elsewhere (unless promiscuous), and hands the
+// packet to the stack.
+func (d *Device) receive(pkt *packet.Packet) {
+	if !d.alive {
+		return
+	}
+	if !d.battery.DrawRx(d.model.RxCost(pkt.SizeBits())) {
+		d.world.kill(d, "battery")
+		return
+	}
+	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.Promiscuous {
+		return // overheard someone else's unicast; energy spent, nothing more
+	}
+	d.RecvPackets++
+	d.world.emitTrace("rx", d.id, pkt, "")
+	if d.stack != nil {
+		d.stack.HandleMessage(pkt)
+	}
+}
+
+// receiveMesh handles a mesh-layer delivery.
+func (d *Device) receiveMesh(pkt *packet.Packet) {
+	if !d.alive {
+		return
+	}
+	if !d.battery.DrawRx(d.model.RxCost(pkt.SizeBits())) {
+		d.world.kill(d, "battery")
+		return
+	}
+	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.Promiscuous {
+		return
+	}
+	d.RecvPackets++
+	d.world.emitTrace("mesh-rx", d.id, pkt, "")
+	if d.meshHandler != nil {
+		d.meshHandler(pkt)
+	}
+}
+
+// Fail kills the device immediately (hardware fault, capture, etc.). The
+// robustness experiments (E6, E7) use this.
+func (d *Device) Fail() { d.world.kill(d, "failure") }
+
+// Config configures a World.
+type Config struct {
+	Seed        int64
+	SensorRadio radio.Config
+	MeshRadio   radio.Config
+	// EnergyModel charges radio operations; nil selects energy.DefaultFixed.
+	EnergyModel energy.Model
+	// SensorBattery is the initial charge per sensor node in joules;
+	// 0 selects 2 J (a practical simulation default; full AA cells would
+	// make lifetime runs take forever).
+	SensorBattery float64
+}
+
+// TraceEvent is one observable action in the world, emitted to the trace
+// hook when one is installed: packet transmissions and receptions on either
+// medium, and device deaths. Tracing is for debugging and tooling (wmsnsim
+// -trace); it has zero cost when no hook is set.
+type TraceEvent struct {
+	At     sim.Time
+	Kind   string // "tx", "rx", "mesh-tx", "mesh-rx", "death"
+	Node   packet.NodeID
+	Packet *packet.Packet // nil for death events
+	Detail string         // cause for deaths
+}
+
+// DeathRecord describes a device death.
+type DeathRecord struct {
+	ID    packet.NodeID
+	At    sim.Time
+	Cause string // "battery" or "failure"
+}
+
+// World owns the kernel, the media and the devices of one simulation.
+type World struct {
+	kernel       *sim.Kernel
+	sensorMedium *radio.Medium
+	meshMedium   *radio.Medium
+	cfg          Config
+
+	devices map[packet.NodeID]*Device
+	order   []packet.NodeID // insertion order, for deterministic iteration
+
+	deaths       []DeathRecord
+	firstDeath   sim.Time
+	sensorsAlive int
+	sensorsTotal int
+	onDeath      []func(DeathRecord)
+	trace        func(TraceEvent)
+}
+
+// NewWorld builds an empty world.
+func NewWorld(cfg Config) *World {
+	if cfg.SensorRadio.BitRate == 0 {
+		cfg.SensorRadio = radio.SensorRadio()
+	}
+	if cfg.MeshRadio.BitRate == 0 {
+		cfg.MeshRadio = radio.MeshRadio()
+	}
+	if cfg.EnergyModel == nil {
+		cfg.EnergyModel = energy.DefaultFixed
+	}
+	if cfg.SensorBattery == 0 {
+		cfg.SensorBattery = 2.0
+	}
+	k := sim.NewKernel(cfg.Seed)
+	return &World{
+		kernel:       k,
+		sensorMedium: radio.New(k, cfg.SensorRadio),
+		meshMedium:   radio.New(k, cfg.MeshRadio),
+		cfg:          cfg,
+		devices:      make(map[packet.NodeID]*Device),
+		firstDeath:   -1,
+	}
+}
+
+// SetTrace installs a trace hook receiving every transmission, reception
+// and death. Pass nil to disable.
+func (w *World) SetTrace(fn func(TraceEvent)) { w.trace = fn }
+
+func (w *World) emitTrace(kind string, id packet.NodeID, pkt *packet.Packet, detail string) {
+	if w.trace != nil {
+		w.trace(TraceEvent{At: w.kernel.Now(), Kind: kind, Node: id, Packet: pkt, Detail: detail})
+	}
+}
+
+// Kernel returns the event kernel.
+func (w *World) Kernel() *sim.Kernel { return w.kernel }
+
+// SensorMedium returns the sensor-layer medium.
+func (w *World) SensorMedium() *radio.Medium { return w.sensorMedium }
+
+// MeshMedium returns the mesh backbone medium.
+func (w *World) MeshMedium() *radio.Medium { return w.meshMedium }
+
+// Device returns the device with the given ID, or nil.
+func (w *World) Device(id packet.NodeID) *Device { return w.devices[id] }
+
+// Devices returns all devices in insertion order.
+func (w *World) Devices() []*Device {
+	out := make([]*Device, 0, len(w.order))
+	for _, id := range w.order {
+		if d, ok := w.devices[id]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DevicesOfKind returns devices of kind k in insertion order.
+func (w *World) DevicesOfKind(k Kind) []*Device {
+	var out []*Device
+	for _, d := range w.Devices() {
+		if d.kind == k {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (w *World) register(d *Device) {
+	if _, dup := w.devices[d.id]; dup {
+		panic(fmt.Sprintf("node: device %v added twice", d.id))
+	}
+	w.devices[d.id] = d
+	w.order = append(w.order, d.id)
+	if d.kind == Sensor {
+		w.sensorsAlive++
+		w.sensorsTotal++
+	}
+	if d.stack != nil {
+		d.stack.Start(d)
+	}
+}
+
+// AddSensor creates a sensor node with the given radio range and battery
+// capacity (0 selects the world default) running stack.
+func (w *World) AddSensor(id packet.NodeID, pos geom.Point, rangeM float64, batteryJ float64, stack Stack) *Device {
+	if batteryJ == 0 {
+		batteryJ = w.cfg.SensorBattery
+	}
+	d := &Device{
+		id: id, kind: Sensor, world: w,
+		battery: energy.NewBattery(batteryJ),
+		model:   w.cfg.EnergyModel,
+		stack:   stack,
+		alive:   true,
+	}
+	d.sensorSt = w.sensorMedium.Attach(id, pos, rangeM, d.receive)
+	w.register(d)
+	return d
+}
+
+// AddGateway creates a WMG attached to both media with unrestricted energy.
+func (w *World) AddGateway(id packet.NodeID, pos geom.Point, sensorRange, meshRange float64, stack Stack) *Device {
+	d := &Device{
+		id: id, kind: Gateway, world: w,
+		battery: energy.Infinite(),
+		model:   w.cfg.EnergyModel,
+		stack:   stack,
+		alive:   true,
+	}
+	d.sensorSt = w.sensorMedium.Attach(id, pos, sensorRange, d.receive)
+	d.meshSt = w.meshMedium.Attach(id, pos, meshRange, d.receiveMesh)
+	w.register(d)
+	return d
+}
+
+// AddMeshRouter creates a WMR attached to the mesh medium only.
+func (w *World) AddMeshRouter(id packet.NodeID, pos geom.Point, meshRange float64) *Device {
+	d := &Device{
+		id: id, kind: MeshRouter, world: w,
+		battery: energy.Infinite(),
+		model:   w.cfg.EnergyModel,
+		alive:   true,
+	}
+	d.meshSt = w.meshMedium.Attach(id, pos, meshRange, d.receiveMesh)
+	w.register(d)
+	return d
+}
+
+// AddBaseStation creates a base station on the mesh medium.
+func (w *World) AddBaseStation(id packet.NodeID, pos geom.Point, meshRange float64) *Device {
+	d := &Device{
+		id: id, kind: BaseStation, world: w,
+		battery: energy.Infinite(),
+		model:   w.cfg.EnergyModel,
+		alive:   true,
+	}
+	d.meshSt = w.meshMedium.Attach(id, pos, meshRange, d.receiveMesh)
+	w.register(d)
+	return d
+}
+
+// OnDeath registers a callback invoked whenever a device dies.
+func (w *World) OnDeath(fn func(DeathRecord)) { w.onDeath = append(w.onDeath, fn) }
+
+func (w *World) kill(d *Device, cause string) {
+	if !d.alive {
+		return
+	}
+	d.alive = false
+	if d.sensorSt != nil {
+		w.sensorMedium.Detach(d.id)
+		d.sensorSt = nil
+	}
+	if d.meshSt != nil {
+		w.meshMedium.Detach(d.id)
+		d.meshSt = nil
+	}
+	rec := DeathRecord{ID: d.id, At: w.kernel.Now(), Cause: cause}
+	w.deaths = append(w.deaths, rec)
+	w.emitTrace("death", d.id, nil, cause)
+	if d.kind == Sensor {
+		w.sensorsAlive--
+		if w.firstDeath < 0 {
+			w.firstDeath = rec.At
+		}
+	}
+	for _, fn := range w.onDeath {
+		fn(rec)
+	}
+}
+
+// Deaths returns all death records in order of occurrence.
+func (w *World) Deaths() []DeathRecord { return w.deaths }
+
+// FirstSensorDeath returns the time the first sensor battery died — the
+// paper's network lifetime (§5.3) — or -1 if all sensors are still alive.
+func (w *World) FirstSensorDeath() sim.Time { return w.firstDeath }
+
+// SensorsAlive returns the count of living sensor nodes.
+func (w *World) SensorsAlive() int { return w.sensorsAlive }
+
+// SensorsTotal returns the number of sensors ever added.
+func (w *World) SensorsTotal() int { return w.sensorsTotal }
+
+// SensorEnergyStats summarizes battery use across sensor nodes.
+func (w *World) SensorEnergyStats() energy.Stats {
+	var bats []*energy.Battery
+	for _, d := range w.Devices() {
+		if d.kind == Sensor {
+			bats = append(bats, d.battery)
+		}
+	}
+	return energy.Summarize(bats)
+}
+
+// Run drives the simulation until the given horizon.
+func (w *World) Run(until sim.Time) uint64 { return w.kernel.Run(until) }
+
+// RunUntilIdle drives the simulation until no events remain.
+func (w *World) RunUntilIdle() uint64 { return w.kernel.RunAll() }
+
+// MinSensorBatteryFraction returns the lowest remaining-battery fraction
+// among living sensors, 1 when none.
+func (w *World) MinSensorBatteryFraction() float64 {
+	min := 1.0
+	for _, d := range w.Devices() {
+		if d.kind == Sensor && d.alive {
+			min = math.Min(min, d.battery.FractionRemaining())
+		}
+	}
+	return min
+}

@@ -1,0 +1,32 @@
+package packet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshal drives the packet decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode to an equivalent
+// packet (decode/encode/decode fixpoint).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(samplePacket().Marshal())
+	f.Add((&Packet{Kind: KindHello, From: 1, To: Broadcast, Origin: 1, Target: Broadcast}).Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re := p.Marshal()
+		p2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("decode/encode/decode not a fixpoint:\n%+v\n%+v", p, p2)
+		}
+	})
+}

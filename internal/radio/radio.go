@@ -1,0 +1,399 @@
+// Package radio simulates the shared wireless medium: unit-disk propagation,
+// transmission airtime, per-link loss, and an optional collision model in
+// which overlapping receptions at a node corrupt each other.
+//
+// Two media are typically instantiated per WMSN: a short-range low-rate one
+// for the sensor layer (802.15.4-like, 250 kbit/s) and a long-range
+// high-rate one for the mesh backbone (802.11-like, 11 Mbit/s), matching the
+// paper's §3.2 ("sensor nodes only support 802.15.4; WMRs only support
+// 802.11; WMGs support both"). Gateways join both media.
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Config describes a medium's PHY/MAC characteristics.
+type Config struct {
+	// BitRate is the transmission rate in bits per second. Airtime of a
+	// packet is SizeBits/BitRate.
+	BitRate float64
+	// PropDelay is the fixed propagation plus processing delay added to
+	// every delivery.
+	PropDelay sim.Duration
+	// LossRate is the independent per-link packet loss probability in
+	// [0,1).
+	LossRate float64
+	// Collisions enables the overlap-corruption model: when two receptions
+	// overlap in time at a receiver, both are corrupted and dropped.
+	Collisions bool
+	// CellSize is the spatial-hash cell edge in meters; 0 selects a
+	// reasonable default.
+	CellSize float64
+	// CSMA enables carrier-sense multiple access: a station that senses
+	// an in-flight transmission it can hear defers for a random backoff
+	// before retrying, up to MaxBackoffs attempts. Energy is charged at
+	// submission (the sensing cost itself is not modeled).
+	CSMA bool
+	// MaxBackoffs bounds CSMA retry attempts; 0 selects 5.
+	MaxBackoffs int
+	// BackoffWindow is the maximum random defer per attempt; 0 selects
+	// 4 ms.
+	BackoffWindow sim.Duration
+}
+
+// SensorRadio is an 802.15.4-flavored configuration for the sensor layer.
+func SensorRadio() Config {
+	return Config{BitRate: 250_000, PropDelay: 50 * sim.Microsecond}
+}
+
+// MeshRadio is an 802.11-flavored configuration for the mesh backbone.
+func MeshRadio() Config {
+	return Config{BitRate: 11_000_000, PropDelay: 20 * sim.Microsecond}
+}
+
+// Stats aggregates medium activity for the overhead experiments.
+type Stats struct {
+	Transmissions uint64 // packets put on the air
+	Deliveries    uint64 // packet copies handed to receivers
+	Lost          uint64 // copies dropped by the loss model
+	Collided      uint64 // copies corrupted by overlapping receptions
+	BytesOnAir    uint64 // Σ packet size over transmissions
+	Backoffs      uint64 // CSMA deferrals
+	CSMADropped   uint64 // packets abandoned after MaxBackoffs attempts
+}
+
+// Station is a node's attachment to a medium.
+type Station struct {
+	id        packet.NodeID
+	pos       geom.Point
+	rangeM    float64
+	handler   func(*packet.Packet)
+	listening bool
+	medium    *Medium
+	cell      cellKey
+	// pending tracks receptions in flight, for the collision model;
+	// any two receptions whose airtimes overlap corrupt each other.
+	pending []*delivery
+}
+
+// ID returns the station's node ID.
+func (s *Station) ID() packet.NodeID { return s.id }
+
+// Pos returns the station's current position.
+func (s *Station) Pos() geom.Point { return s.pos }
+
+// Range returns the station's transmission range in meters.
+func (s *Station) Range() float64 { return s.rangeM }
+
+// SetRange adjusts transmission power (topology control, §4.4).
+func (s *Station) SetRange(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	s.rangeM = r
+}
+
+// Listening reports whether the radio is awake.
+func (s *Station) Listening() bool { return s.listening }
+
+// SetListening wakes or sleeps the receiver (sleep scheduling, §4.4).
+// A sleeping station receives nothing but may still transmit.
+func (s *Station) SetListening(on bool) { s.listening = on }
+
+// Move relocates the station (gateway mobility between MLR rounds).
+func (s *Station) Move(p geom.Point) {
+	s.medium.reindex(s, p)
+}
+
+type cellKey struct{ cx, cy int }
+
+type delivery struct {
+	to        *Station
+	pkt       *packet.Packet
+	start     sim.Time
+	end       sim.Time
+	corrupted bool
+}
+
+// activeTx records a transmission occupying the channel, for carrier sense.
+type activeTx struct {
+	pos    geom.Point
+	rangeM float64
+	end    sim.Time
+}
+
+// Medium is a shared broadcast channel among registered stations.
+type Medium struct {
+	k        *sim.Kernel
+	cfg      Config
+	stations map[packet.NodeID]*Station
+	cells    map[cellKey]map[packet.NodeID]*Station
+	cellSize float64
+	stats    Stats
+	active   []activeTx // in-flight transmissions (CSMA only)
+}
+
+// New creates a medium driven by kernel k.
+func New(k *sim.Kernel, cfg Config) *Medium {
+	if cfg.BitRate <= 0 {
+		panic("radio: non-positive bit rate")
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		panic(fmt.Sprintf("radio: loss rate %v outside [0,1)", cfg.LossRate))
+	}
+	cell := cfg.CellSize
+	if cell <= 0 {
+		cell = 50
+	}
+	return &Medium{
+		k:        k,
+		cfg:      cfg,
+		stations: make(map[packet.NodeID]*Station),
+		cells:    make(map[cellKey]map[packet.NodeID]*Station),
+		cellSize: cell,
+	}
+}
+
+// Stats returns a snapshot of medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Airtime returns how long a packet of size bytes occupies the channel.
+func (m *Medium) Airtime(sizeBytes int) sim.Duration {
+	us := float64(sizeBytes*8) / m.cfg.BitRate * 1e6
+	return sim.Duration(math.Ceil(us))
+}
+
+func (m *Medium) keyFor(p geom.Point) cellKey {
+	return cellKey{int(math.Floor(p.X / m.cellSize)), int(math.Floor(p.Y / m.cellSize))}
+}
+
+// Attach registers a station. handler receives one cloned packet per
+// successful delivery. Attaching an already-attached ID panics: duplicate
+// radio identities are a configuration bug (the deliberate case, the Sybil
+// attack, forges packet headers instead).
+func (m *Medium) Attach(id packet.NodeID, pos geom.Point, rangeM float64, handler func(*packet.Packet)) *Station {
+	if _, dup := m.stations[id]; dup {
+		panic(fmt.Sprintf("radio: station %v attached twice", id))
+	}
+	s := &Station{id: id, pos: pos, rangeM: rangeM, handler: handler, listening: true, medium: m}
+	m.stations[id] = s
+	s.cell = m.keyFor(pos)
+	bucket := m.cells[s.cell]
+	if bucket == nil {
+		bucket = make(map[packet.NodeID]*Station)
+		m.cells[s.cell] = bucket
+	}
+	bucket[id] = s
+	return s
+}
+
+// Detach removes a station (node death or departure). Packets already in
+// flight to it are silently dropped at delivery time.
+func (m *Medium) Detach(id packet.NodeID) {
+	s, ok := m.stations[id]
+	if !ok {
+		return
+	}
+	delete(m.cells[s.cell], id)
+	delete(m.stations, id)
+	s.handler = nil
+}
+
+// Station returns the attachment for id, or nil.
+func (m *Medium) Station(id packet.NodeID) *Station { return m.stations[id] }
+
+func (m *Medium) reindex(s *Station, p geom.Point) {
+	nk := m.keyFor(p)
+	if nk != s.cell {
+		delete(m.cells[s.cell], s.id)
+		bucket := m.cells[nk]
+		if bucket == nil {
+			bucket = make(map[packet.NodeID]*Station)
+			m.cells[nk] = bucket
+		}
+		bucket[s.id] = s
+		s.cell = nk
+	}
+	s.pos = p
+}
+
+// InRange returns the stations within sender's range, excluding the sender
+// itself, in deterministic (ID-sorted) order.
+func (m *Medium) InRange(sender *Station) []*Station {
+	if sender == nil || sender.rangeM <= 0 {
+		return nil
+	}
+	r := sender.rangeM
+	r2 := r * r
+	c0 := m.keyFor(geom.Point{X: sender.pos.X - r, Y: sender.pos.Y - r})
+	c1 := m.keyFor(geom.Point{X: sender.pos.X + r, Y: sender.pos.Y + r})
+	var out []*Station
+	for cx := c0.cx; cx <= c1.cx; cx++ {
+		for cy := c0.cy; cy <= c1.cy; cy++ {
+			for _, s := range m.cells[cellKey{cx, cy}] {
+				if s.id == sender.id {
+					continue
+				}
+				if s.pos.Dist2(sender.pos) <= r2 {
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	sortStations(out)
+	return out
+}
+
+// Neighbors returns the IDs of stations within range of id.
+func (m *Medium) Neighbors(id packet.NodeID) []packet.NodeID {
+	s := m.stations[id]
+	if s == nil {
+		return nil
+	}
+	in := m.InRange(s)
+	out := make([]packet.NodeID, len(in))
+	for i, st := range in {
+		out[i] = st.id
+	}
+	return out
+}
+
+func sortStations(ss []*Station) {
+	// Insertion sort: neighbor lists are short and this avoids pulling in
+	// sort for a hot path.
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].id < ss[j-1].id; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Transmit broadcasts pkt from station from. Every listening station within
+// range receives a clone after airtime + PropDelay, unless the loss model
+// drops it or (with Collisions) an overlapping reception corrupts it.
+// Unicast packets (pkt.To != Broadcast) still occupy every neighbor's radio
+// — wireless is broadcast — but are only handed to the addressee; the node
+// layer charges overhearing energy accordingly.
+//
+// With CSMA enabled, a busy channel defers the transmission by a random
+// backoff (retried up to MaxBackoffs times before the packet is abandoned).
+func (m *Medium) Transmit(from *Station, pkt *packet.Packet) {
+	if from == nil {
+		return
+	}
+	if m.cfg.CSMA {
+		m.transmitCSMA(from, pkt, 0)
+		return
+	}
+	m.transmitNow(from, pkt)
+}
+
+// carrierBusy reports whether st can hear an in-flight transmission.
+func (m *Medium) carrierBusy(st *Station) bool {
+	now := m.k.Now()
+	kept := m.active[:0]
+	busy := false
+	for _, tx := range m.active {
+		if tx.end <= now {
+			continue
+		}
+		kept = append(kept, tx)
+		if st.pos.Dist(tx.pos) <= tx.rangeM {
+			busy = true
+		}
+	}
+	m.active = kept
+	return busy
+}
+
+func (m *Medium) transmitCSMA(from *Station, pkt *packet.Packet, attempt int) {
+	if from.handler == nil && m.stations[from.id] == nil {
+		return // detached while backing off
+	}
+	maxB := m.cfg.MaxBackoffs
+	if maxB <= 0 {
+		maxB = 5
+	}
+	window := m.cfg.BackoffWindow
+	if window <= 0 {
+		window = 4 * sim.Millisecond
+	}
+	if m.carrierBusy(from) {
+		if attempt >= maxB {
+			m.stats.CSMADropped++
+			return
+		}
+		m.stats.Backoffs++
+		delay := 1 + sim.Duration(m.k.Rand().Int63n(int64(window)))
+		m.k.After(delay, func() { m.transmitCSMA(from, pkt, attempt+1) })
+		return
+	}
+	m.transmitNow(from, pkt)
+}
+
+func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
+	m.stats.Transmissions++
+	m.stats.BytesOnAir += uint64(pkt.Size())
+	airtime := m.Airtime(pkt.Size())
+	start := m.k.Now()
+	end := start + airtime + m.cfg.PropDelay
+	if m.cfg.CSMA {
+		m.active = append(m.active, activeTx{pos: from.pos, rangeM: from.rangeM, end: start + airtime})
+	}
+	for _, st := range m.InRange(from) {
+		if !st.listening {
+			continue
+		}
+		if m.cfg.LossRate > 0 && m.k.Rand().Float64() < m.cfg.LossRate {
+			m.stats.Lost++
+			continue
+		}
+		d := &delivery{to: st, pkt: pkt.Clone(), start: start, end: end}
+		if m.cfg.Collisions {
+			// Any reception overlapping an in-flight one corrupts both.
+			for _, prev := range st.pending {
+				if prev.end > start && !prev.corrupted {
+					prev.corrupted = true
+					m.stats.Collided++
+				}
+				if prev.end > start {
+					d.corrupted = true
+				}
+			}
+			if d.corrupted {
+				m.stats.Collided++
+			}
+			st.pending = append(st.pending, d)
+		}
+		m.k.ScheduleAt(end, func() { m.deliver(d) })
+	}
+}
+
+func (m *Medium) deliver(d *delivery) {
+	st := d.to
+	if m.cfg.Collisions {
+		// Drop completed receptions from the pending set.
+		now := m.k.Now()
+		kept := st.pending[:0]
+		for _, p := range st.pending {
+			if p.end > now {
+				kept = append(kept, p)
+			}
+		}
+		st.pending = kept
+	}
+	if d.corrupted {
+		return
+	}
+	if st.handler == nil || !st.listening {
+		return
+	}
+	m.stats.Deliveries++
+	st.handler(d.pkt)
+}

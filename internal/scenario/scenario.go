@@ -1,0 +1,502 @@
+// Package scenario binds the simulator substrates into runnable
+// experiments: it deploys a sensor field, installs a routing protocol
+// (core SPR/MLR/SecMLR or a baseline), drives periodic traffic, optionally
+// injects adversaries and failures, and collects the metrics every
+// experiment in EXPERIMENTS.md reads.
+package scenario
+
+import (
+	"fmt"
+
+	"wmsn/internal/baseline"
+	"wmsn/internal/core"
+	"wmsn/internal/energy"
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/placement"
+	"wmsn/internal/radio"
+	"wmsn/internal/sensing"
+	"wmsn/internal/sim"
+)
+
+// Protocol selects the routing protocol under test.
+type Protocol string
+
+// Supported protocols.
+const (
+	SPR       Protocol = "spr"       // §5.2, multi-gateway shortest path
+	MLR       Protocol = "mlr"       // §5.3, lifetime-maximizing rounds
+	SecMLR    Protocol = "secmlr"    // §6.2, secured MLR
+	Flooding  Protocol = "flooding"  // flat baseline
+	Gossiping Protocol = "gossiping" // flat baseline
+	Direct    Protocol = "direct"    // single-hop baseline
+	MCFA      Protocol = "mcfa"      // cost-field baseline
+	LEACH     Protocol = "leach"     // cluster baseline
+	PEGASIS   Protocol = "pegasis"   // chain baseline
+	SPIN      Protocol = "spin"      // negotiation baseline
+)
+
+// Originator is any sensor stack that can produce a reading.
+type Originator interface {
+	OriginateData(payload []byte)
+}
+
+// Config describes one experiment run. Zero fields take defaults from
+// Defaults.
+type Config struct {
+	Seed int64
+	// Protocol under test.
+	Protocol Protocol
+	// NumSensors nodes deployed by Deploy in a Side x Side region.
+	NumSensors int
+	Side       float64
+	Deploy     geom.Deployer
+	// SensorRange is the sensor-layer radio range.
+	SensorRange float64
+	// NumGateways (or the single sink for flat baselines).
+	NumGateways int
+	// Places are the MLR feasible places; empty derives a grid of
+	// 2*NumGateways places. For SPR and baselines only the first
+	// NumGateways places are used as static positions.
+	Places []geom.Point
+	// Schedule is the MLR round schedule; empty derives a rotation.
+	Schedule [][]int
+	RoundLen sim.Duration
+	// Rounds bounds the derived rotation schedule length.
+	Rounds int
+
+	// Traffic: every sensor originates one PayloadSize-byte reading each
+	// ReportInterval, starting after a warmup.
+	ReportInterval sim.Duration
+	PayloadSize    int
+	Warmup         sim.Duration
+
+	// RunFor is the simulated horizon.
+	RunFor sim.Time
+	// StopAtFirstDeath ends the run when the first sensor battery dies
+	// (lifetime experiments).
+	StopAtFirstDeath bool
+
+	// Energy / battery.
+	EnergyModel   energy.Model
+	SensorBattery float64
+
+	// Radio imperfections.
+	LossRate   float64
+	Collisions bool
+	// CSMA enables carrier sensing with random backoff on the sensor
+	// medium (pairs naturally with Collisions).
+	CSMA bool
+
+	// LEACH-specific.
+	LEACHProb float64
+
+	// TEEN, when non-nil, replaces unconditional periodic reporting with
+	// threshold-sensitive reporting (§2.2.2 [18]): each ReportInterval the
+	// sensor samples the field at its position and transmits only when the
+	// TEEN filter fires. The sensed value rides in the payload.
+	TEEN *TEENConfig
+
+	// NoShortcutAnswers disables SPR/MLR's cached-route answering
+	// (Property-1 shortcut) — the ablation of experiment E12.
+	NoShortcutAnswers bool
+
+	// Params, when non-nil, overrides the protocol parameters entirely
+	// (timing windows, TTLs, retry budgets). NoShortcutAnswers still
+	// applies on top.
+	Params *core.Params
+
+	// Hooks: Mutate runs after the network is built but before traffic
+	// starts (install attackers, schedule failures, ...). StackWrapper,
+	// when set, wraps every sensor stack at creation — the hook insider
+	// attacks (selective forwarding, ACK spoofing) use to compromise a
+	// subset of legitimate nodes while keeping them on routing paths.
+	Mutate       func(n *Net)
+	StackWrapper func(id packet.NodeID, st node.Stack) node.Stack
+}
+
+// TEENConfig configures threshold-sensitive reporting.
+type TEENConfig struct {
+	// Field is the sensed environment.
+	Field sensing.Field
+	// Hard and Soft are the TEEN thresholds.
+	Hard, Soft float64
+}
+
+// Defaults fills unset fields.
+func Defaults(cfg Config) Config {
+	if cfg.Protocol == "" {
+		cfg.Protocol = SPR
+	}
+	if cfg.NumSensors == 0 {
+		cfg.NumSensors = 100
+	}
+	if cfg.Side == 0 {
+		cfg.Side = 200
+	}
+	if cfg.Deploy == nil {
+		cfg.Deploy = geom.Uniform{}
+	}
+	if cfg.SensorRange == 0 {
+		cfg.SensorRange = 35
+	}
+	if cfg.NumGateways == 0 {
+		cfg.NumGateways = 3
+	}
+	if cfg.RoundLen == 0 {
+		cfg.RoundLen = 100 * sim.Second
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 8
+	}
+	if cfg.ReportInterval == 0 {
+		cfg.ReportInterval = 10 * sim.Second
+	}
+	if cfg.PayloadSize == 0 {
+		cfg.PayloadSize = 16
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = sim.Second
+	}
+	if cfg.RunFor == 0 {
+		cfg.RunFor = 120 * sim.Second
+	}
+	if cfg.EnergyModel == nil {
+		cfg.EnergyModel = energy.DefaultFixed
+	}
+	if cfg.SensorBattery == 0 {
+		cfg.SensorBattery = 2.0
+	}
+	if cfg.LEACHProb == 0 {
+		cfg.LEACHProb = 0.05
+	}
+	return cfg
+}
+
+// Net is a built, running experiment network.
+type Net struct {
+	Cfg           Config
+	World         *node.World
+	Metrics       *core.Metrics
+	Region        geom.Rect
+	SensorIDs     []packet.NodeID
+	GatewayIDs    []packet.NodeID
+	Places        []geom.Point
+	Originators   map[packet.NodeID]Originator
+	Rounds        *core.Rounds
+	LEACHRounds   *baseline.LEACHRounds
+	PegasisRounds *baseline.PegasisRounds
+
+	trafficStop []*sim.Repeater
+	teens       []*sensing.TEEN
+}
+
+// GatewayID of the i-th gateway. The base sits far above any realistic
+// sensor count so scenario IDs never collide.
+func GatewayID(i int) packet.NodeID { return packet.NodeID(1_000_000 + i) }
+
+// Build constructs the network for cfg without starting traffic.
+func Build(cfg Config) *Net {
+	cfg = Defaults(cfg)
+	region := geom.Square(cfg.Side)
+	w := node.NewWorld(node.Config{
+		Seed: cfg.Seed,
+		SensorRadio: radio.Config{
+			BitRate:    250_000,
+			PropDelay:  50 * sim.Microsecond,
+			LossRate:   cfg.LossRate,
+			Collisions: cfg.Collisions,
+			CSMA:       cfg.CSMA,
+		},
+		EnergyModel:   cfg.EnergyModel,
+		SensorBattery: cfg.SensorBattery,
+	})
+	n := &Net{
+		Cfg:         cfg,
+		World:       w,
+		Metrics:     core.NewMetrics(),
+		Region:      region,
+		Originators: make(map[packet.NodeID]Originator),
+	}
+	sensors := cfg.Deploy.Deploy(cfg.NumSensors, region, w.Kernel().Rand())
+
+	// Feasible places / gateway positions.
+	n.Places = cfg.Places
+	if len(n.Places) == 0 {
+		numPlaces := cfg.NumGateways
+		if cfg.Protocol == MLR || cfg.Protocol == SecMLR {
+			numPlaces = 2 * cfg.NumGateways
+		}
+		n.Places = geom.PlaceGrid(numPlaces, region)
+	}
+	for i := 0; i < cfg.NumGateways; i++ {
+		n.GatewayIDs = append(n.GatewayIDs, GatewayID(i))
+	}
+	for i := range sensors {
+		n.SensorIDs = append(n.SensorIDs, packet.NodeID(i+1))
+	}
+
+	params := core.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	params.NoShortcutAnswers = cfg.NoShortcutAnswers
+	wrap := func(id packet.NodeID, st node.Stack) node.Stack {
+		if cfg.StackWrapper != nil {
+			return cfg.StackWrapper(id, st)
+		}
+		return st
+	}
+	switch cfg.Protocol {
+	case SPR:
+		for i, pos := range sensors {
+			st := core.NewSPRSensor(params, n.Metrics)
+			n.Originators[n.SensorIDs[i]] = st
+			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, wrap(n.SensorIDs[i], st))
+		}
+		for i, id := range n.GatewayIDs {
+			w.AddGateway(id, n.Places[i%len(n.Places)], cfg.SensorRange, 500, core.NewSPRGateway(params, n.Metrics))
+		}
+
+	case MLR, SecMLR:
+		schedule := cfg.Schedule
+		if schedule == nil {
+			schedule = placement.RotationSchedule(len(n.Places), cfg.NumGateways, cfg.Rounds)
+		}
+		if schedule == nil {
+			panic(fmt.Sprintf("scenario: cannot build schedule for %d gateways over %d places",
+				cfg.NumGateways, len(n.Places)))
+		}
+		var sKeys map[packet.NodeID]*core.SensorKeys
+		var gKeys map[packet.NodeID]*core.GatewayKeys
+		if cfg.Protocol == SecMLR {
+			sKeys, gKeys = core.ProvisionKeys([]byte("scenario-master"), n.SensorIDs, n.GatewayIDs, cfg.Rounds+8)
+		}
+		for i, pos := range sensors {
+			id := n.SensorIDs[i]
+			var st node.Stack
+			if cfg.Protocol == SecMLR {
+				sec := core.NewSecMLRSensor(params, n.Metrics, sKeys[id])
+				n.Originators[id] = sec
+				st = sec
+			} else {
+				mlr := core.NewMLRSensor(params, n.Metrics)
+				n.Originators[id] = mlr
+				st = mlr
+			}
+			w.AddSensor(id, pos, cfg.SensorRange, 0, wrap(id, st))
+		}
+		for i, id := range n.GatewayIDs {
+			var st node.Stack
+			if cfg.Protocol == SecMLR {
+				st = core.NewSecMLRGateway(params, n.Metrics, gKeys[id])
+			} else {
+				st = core.NewMLRGateway(params, n.Metrics)
+			}
+			w.AddGateway(id, n.Places[schedule[0][i]], cfg.SensorRange, 500, st)
+		}
+		n.Rounds = &core.Rounds{World: w, Places: n.Places, Gateways: n.GatewayIDs,
+			RoundLen: cfg.RoundLen, Schedule: schedule}
+		n.Rounds.Start()
+
+	case Flooding:
+		for i, pos := range sensors {
+			st := baseline.NewFlooding(n.Metrics, params.TTL)
+			n.Originators[n.SensorIDs[i]] = st
+			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
+		}
+		n.addFlatSinks(cfg)
+
+	case Gossiping:
+		for i, pos := range sensors {
+			st := baseline.NewGossiping(n.Metrics, 255)
+			n.Originators[n.SensorIDs[i]] = st
+			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
+		}
+		n.addFlatSinks(cfg)
+
+	case Direct:
+		sinkPos := n.Places[0]
+		for i, pos := range sensors {
+			st := baseline.NewDirect(n.Metrics, GatewayID(0), pos.Dist(sinkPos))
+			n.Originators[n.SensorIDs[i]] = st
+			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
+		}
+		n.addFlatSinks(cfg)
+
+	case MCFA:
+		for i, pos := range sensors {
+			st := baseline.NewMCFA(n.Metrics, params.TTL)
+			n.Originators[n.SensorIDs[i]] = st
+			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
+		}
+		w.AddGateway(GatewayID(0), n.Places[0], cfg.SensorRange, 500,
+			baseline.NewMCFASink(n.Metrics, params.TTL))
+
+	case PEGASIS:
+		sinkPos := geom.Point{X: cfg.Side / 2, Y: cfg.Side + 50} // off-field sink, as in the PEGASIS paper
+		pos := make(map[packet.NodeID]geom.Point, len(sensors))
+		for i, p := range sensors {
+			pos[n.SensorIDs[i]] = p
+		}
+		chain := baseline.NewPegasisChain(GatewayID(0), sinkPos, pos)
+		for i, p := range sensors {
+			id := n.SensorIDs[i]
+			st := baseline.NewPEGASIS(n.Metrics, chain)
+			n.Originators[id] = st
+			w.AddSensor(id, p, cfg.SensorRange, 0, wrap(id, st))
+		}
+		w.AddGateway(GatewayID(0), sinkPos, 10*cfg.Side, 500, baseline.NewLEACHSink(n.Metrics))
+		// Sweep once per reporting cycle: each token carries one reading per
+		// node, as in the original protocol (sweeping slower would balloon
+		// the token and stretch a single sweep past the round).
+		n.PegasisRounds = &baseline.PegasisRounds{World: w, Chain: chain, RoundLen: cfg.ReportInterval}
+		n.PegasisRounds.Start()
+
+	case SPIN:
+		for i, p := range sensors {
+			id := n.SensorIDs[i]
+			st := baseline.NewSPIN(n.Metrics)
+			n.Originators[id] = st
+			w.AddSensor(id, p, cfg.SensorRange, 0, wrap(id, st))
+		}
+		w.AddGateway(GatewayID(0), n.Places[0], cfg.SensorRange, 500, baseline.NewSPINSink(n.Metrics))
+
+	case LEACH:
+		sinkPos := geom.Point{X: cfg.Side / 2, Y: cfg.Side + 50} // off-field sink, per LEACH evaluations
+		var stacks []*baseline.LEACH
+		for i, pos := range sensors {
+			st := baseline.NewLEACH(n.Metrics, cfg.LEACHProb, GatewayID(0), sinkPos, cfg.SensorRange*2)
+			n.Originators[n.SensorIDs[i]] = st
+			stacks = append(stacks, st)
+			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
+		}
+		w.AddGateway(GatewayID(0), sinkPos, 10*cfg.Side, 500, baseline.NewLEACHSink(n.Metrics))
+		n.LEACHRounds = &baseline.LEACHRounds{World: w, Stacks: stacks, RoundLen: cfg.RoundLen}
+		n.LEACHRounds.Start()
+
+	default:
+		panic(fmt.Sprintf("scenario: unknown protocol %q", cfg.Protocol))
+	}
+
+	if cfg.Mutate != nil {
+		cfg.Mutate(n)
+	}
+	return n
+}
+
+// addFlatSinks installs plain sinks at the first NumGateways places
+// (baselines normally run with NumGateways=1, the flat architecture).
+func (n *Net) addFlatSinks(cfg Config) {
+	for i, id := range n.GatewayIDs {
+		n.World.AddGateway(id, n.Places[i%len(n.Places)], cfg.SensorRange, 500,
+			baseline.NewSink(n.Metrics))
+	}
+}
+
+// StartTraffic schedules the reporting workload: unconditional periodic
+// reports by default, or TEEN threshold-sensitive reports when configured.
+func (n *Net) StartTraffic() {
+	cfg := n.Cfg
+	payload := make([]byte, cfg.PayloadSize)
+	k := n.World.Kernel()
+	for _, id := range n.SensorIDs {
+		id := id
+		var filter *sensing.TEEN
+		if cfg.TEEN != nil {
+			filter = sensing.NewTEEN(cfg.TEEN.Hard, cfg.TEEN.Soft)
+			n.teens = append(n.teens, filter)
+		}
+		report := func() {
+			o, ok := n.Originators[id]
+			if !ok {
+				return
+			}
+			if filter == nil {
+				o.OriginateData(payload)
+				return
+			}
+			d := n.World.Device(id)
+			if d == nil || !d.Alive() {
+				return
+			}
+			v := cfg.TEEN.Field.ValueAt(d.Pos(), k.Now())
+			if filter.Sample(v) {
+				o.OriginateData(fmt.Appendf(nil, "v=%.2f", v))
+			}
+		}
+		phase := cfg.Warmup + sim.Duration(k.Rand().Int63n(int64(cfg.ReportInterval)))
+		k.After(phase, func() {
+			report()
+			rep := k.Every(cfg.ReportInterval, report)
+			n.trafficStop = append(n.trafficStop, rep)
+		})
+	}
+}
+
+// TEENStats aggregates the threshold filters' activity (zero when TEEN
+// reporting is not configured).
+func (n *Net) TEENStats() (samples, reports uint64) {
+	for _, f := range n.teens {
+		samples += f.Samples
+		reports += f.Reports
+	}
+	return samples, reports
+}
+
+// StopTraffic cancels the reporting workload.
+func (n *Net) StopTraffic() {
+	for _, r := range n.trafficStop {
+		r.Stop()
+	}
+	n.trafficStop = nil
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Cfg          Config
+	Metrics      *core.Metrics
+	Energy       energy.Stats
+	Radio        radio.Stats
+	FirstDeath   sim.Time // -1 if no sensor died
+	SensorsAlive int
+	SensorsTotal int
+	Elapsed      sim.Time
+}
+
+// Run builds the network, drives traffic for cfg.RunFor, and summarizes.
+func Run(cfg Config) Result {
+	n := Build(cfg)
+	return n.RunTraffic()
+}
+
+// RunTraffic starts traffic on an already-built network and runs to the
+// horizon (or first sensor death when configured).
+func (n *Net) RunTraffic() Result {
+	cfg := n.Cfg
+	if cfg.StopAtFirstDeath {
+		n.World.OnDeath(func(r node.DeathRecord) {
+			if n.World.FirstSensorDeath() >= 0 {
+				n.World.Kernel().Stop()
+			}
+		})
+	}
+	n.StartTraffic()
+	n.World.Run(cfg.RunFor)
+	return n.Summarize()
+}
+
+// Summarize captures the current state as a Result.
+func (n *Net) Summarize() Result {
+	return Result{
+		Cfg:          n.Cfg,
+		Metrics:      n.Metrics,
+		Energy:       n.World.SensorEnergyStats(),
+		Radio:        n.World.SensorMedium().Stats(),
+		FirstDeath:   n.World.FirstSensorDeath(),
+		SensorsAlive: n.World.SensorsAlive(),
+		SensorsTotal: n.World.SensorsTotal(),
+		Elapsed:      n.World.Kernel().Now(),
+	}
+}

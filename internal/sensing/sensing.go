@@ -1,0 +1,136 @@
+// Package sensing provides the synthetic physical environment the sensors
+// measure, and TEEN-style threshold-sensitive reporting (§2.2.2 [18]): a
+// node transmits only when the sensed value crosses a hard threshold AND
+// has moved by at least a soft threshold since its last report — trading
+// data completeness for drastic traffic reduction in time-critical
+// monitoring.
+//
+// The environment is a deterministic scalar field (ambient level plus
+// Gaussian events that grow, plateau and decay), so experiments are
+// reproducible without real traces — the substitution DESIGN.md records
+// for the paper's unavailable deployment data.
+package sensing
+
+import (
+	"math"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/sim"
+)
+
+// Field is a scalar environment sampled by sensors.
+type Field interface {
+	// ValueAt returns the field value at position p and virtual time t.
+	ValueAt(p geom.Point, t sim.Time) float64
+}
+
+// Ambient is a constant background field.
+type Ambient float64
+
+// ValueAt implements Field.
+func (a Ambient) ValueAt(geom.Point, sim.Time) float64 { return float64(a) }
+
+// Event is one localized disturbance: a spatial Gaussian whose intensity
+// ramps up linearly over Ramp, holds for Hold, and decays linearly over
+// Decay.
+type Event struct {
+	Center geom.Point
+	Sigma  float64 // spatial spread, meters
+	Peak   float64 // maximum added intensity at the center
+	Start  sim.Time
+	Ramp   sim.Duration
+	Hold   sim.Duration
+	Decay  sim.Duration
+}
+
+// intensity returns the event's time envelope in [0,1].
+func (e Event) intensity(t sim.Time) float64 {
+	dt := t - e.Start
+	switch {
+	case dt < 0:
+		return 0
+	case dt < e.Ramp:
+		return float64(dt) / float64(e.Ramp)
+	case dt < e.Ramp+e.Hold:
+		return 1
+	case dt < e.Ramp+e.Hold+e.Decay:
+		return 1 - float64(dt-e.Ramp-e.Hold)/float64(e.Decay)
+	default:
+		return 0
+	}
+}
+
+// EventField is an ambient level plus any number of events.
+type EventField struct {
+	Base   float64
+	Events []Event
+}
+
+// ValueAt implements Field.
+func (f *EventField) ValueAt(p geom.Point, t sim.Time) float64 {
+	v := f.Base
+	for _, e := range f.Events {
+		w := e.intensity(t)
+		if w == 0 {
+			continue
+		}
+		d2 := p.Dist2(e.Center)
+		v += e.Peak * w * math.Exp(-d2/(2*e.Sigma*e.Sigma))
+	}
+	return v
+}
+
+// TEEN is the per-node threshold filter. The zero value never reports; use
+// NewTEEN.
+type TEEN struct {
+	// Hard is the absolute threshold a value must reach to be of interest.
+	Hard float64
+	// Soft is the minimum change from the last reported value that
+	// justifies another transmission.
+	Soft float64
+
+	reported  bool
+	lastValue float64
+
+	// Samples and Reports count filter activity.
+	Samples uint64
+	Reports uint64
+}
+
+// NewTEEN creates a filter with the given thresholds.
+func NewTEEN(hard, soft float64) *TEEN {
+	return &TEEN{Hard: hard, Soft: soft}
+}
+
+// Sample feeds one sensed value and reports whether it should be
+// transmitted: the first hard-threshold crossing always reports; afterwards
+// a report requires the value to remain of interest and to have moved by at
+// least Soft since the last report (§2.2.2: "as sensed data exceeds the
+// hard threshold, the node ... send[s] the data").
+func (t *TEEN) Sample(v float64) bool {
+	t.Samples++
+	if v < t.Hard {
+		return false
+	}
+	if t.reported && math.Abs(v-t.lastValue) < t.Soft {
+		return false
+	}
+	t.reported = true
+	t.lastValue = v
+	t.Reports++
+	return true
+}
+
+// Reset clears the filter state (e.g. at a TEEN cluster-parameter change).
+func (t *TEEN) Reset() {
+	t.reported = false
+	t.lastValue = 0
+}
+
+// SuppressionRatio returns the fraction of samples NOT transmitted.
+func (t *TEEN) SuppressionRatio() float64 {
+	if t.Samples == 0 {
+		return 0
+	}
+	return 1 - float64(t.Reports)/float64(t.Samples)
+}

@@ -1,0 +1,143 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/sim"
+)
+
+func TestAmbientField(t *testing.T) {
+	f := Ambient(21.5)
+	if f.ValueAt(geom.Point{X: 10}, 5*sim.Second) != 21.5 {
+		t.Fatal("ambient field not constant")
+	}
+}
+
+func TestEventEnvelope(t *testing.T) {
+	e := Event{Start: 10 * sim.Second, Ramp: 10 * sim.Second,
+		Hold: 20 * sim.Second, Decay: 10 * sim.Second}
+	cases := map[sim.Time]float64{
+		0:               0,   // before start
+		10 * sim.Second: 0,   // at start
+		15 * sim.Second: 0.5, // mid-ramp
+		20 * sim.Second: 1,   // ramp done
+		30 * sim.Second: 1,   // holding
+		45 * sim.Second: 0.5, // mid-decay
+		60 * sim.Second: 0,   // over
+	}
+	for at, want := range cases {
+		if got := e.intensity(at); math.Abs(got-want) > 1e-9 {
+			t.Errorf("intensity(%v) = %v, want %v", at, got, want)
+		}
+	}
+}
+
+func TestEventFieldSpatialFalloff(t *testing.T) {
+	f := &EventField{Base: 20, Events: []Event{{
+		Center: geom.Point{X: 50, Y: 50}, Sigma: 10, Peak: 80,
+		Start: 0, Ramp: sim.Second, Hold: sim.Hour, Decay: sim.Second,
+	}}}
+	at := 10 * sim.Second
+	center := f.ValueAt(geom.Point{X: 50, Y: 50}, at)
+	near := f.ValueAt(geom.Point{X: 60, Y: 50}, at)
+	far := f.ValueAt(geom.Point{X: 150, Y: 50}, at)
+	if math.Abs(center-100) > 1e-9 {
+		t.Fatalf("center = %v, want 100", center)
+	}
+	if !(center > near && near > far) {
+		t.Fatalf("no spatial falloff: %v %v %v", center, near, far)
+	}
+	if math.Abs(far-20) > 0.1 {
+		t.Fatalf("far value %v, want ~ambient 20", far)
+	}
+}
+
+func TestTEENHardThreshold(t *testing.T) {
+	f := NewTEEN(50, 2)
+	if f.Sample(30) {
+		t.Fatal("reported below hard threshold")
+	}
+	if !f.Sample(55) {
+		t.Fatal("first crossing not reported")
+	}
+	// Unchanged-ish value suppressed by the soft threshold.
+	if f.Sample(55.5) || f.Sample(54) {
+		t.Fatal("sub-soft change reported")
+	}
+	// A soft-sized move reports again.
+	if !f.Sample(58) {
+		t.Fatal("soft-threshold move not reported")
+	}
+	// Dropping below hard silences the node.
+	if f.Sample(40) {
+		t.Fatal("below-hard value reported")
+	}
+	// Recrossing reports (58 -> 61 also exceeds soft).
+	if !f.Sample(61) {
+		t.Fatal("recrossing not reported")
+	}
+	if f.Samples != 7 || f.Reports != 3 {
+		t.Fatalf("samples/reports = %d/%d", f.Samples, f.Reports)
+	}
+	if sr := f.SuppressionRatio(); math.Abs(sr-(1-3.0/7)) > 1e-9 {
+		t.Fatalf("suppression = %v", sr)
+	}
+	f.Reset()
+	if !f.Sample(55) {
+		t.Fatal("reset did not clear report state")
+	}
+}
+
+func TestTEENZeroValueNeverReports(t *testing.T) {
+	var f TEEN // Hard == 0, Soft == 0: first sample at >= 0 reports...
+	// The zero value has Hard 0, so any value reports once; document the
+	// constructor instead.
+	nf := NewTEEN(100, 5)
+	for v := 0.0; v < 100; v += 10 {
+		if nf.Sample(v) {
+			t.Fatal("reported below threshold")
+		}
+	}
+	_ = f
+	if nf.SuppressionRatio() != 1 {
+		t.Fatalf("suppression = %v, want 1", nf.SuppressionRatio())
+	}
+	if (&TEEN{}).SuppressionRatio() != 0 {
+		t.Fatal("no-sample suppression should be 0")
+	}
+}
+
+// Property: TEEN never reports below the hard threshold, and consecutive
+// reported values always differ by at least Soft (after the first).
+func TestQuickTEENInvariants(t *testing.T) {
+	f := func(hardRaw, softRaw uint8, values []float32) bool {
+		hard := float64(hardRaw)
+		soft := float64(softRaw%16) + 0.1
+		filt := NewTEEN(hard, soft)
+		var reported []float64
+		for _, raw := range values {
+			v := float64(raw)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if filt.Sample(v) {
+				if v < hard {
+					return false
+				}
+				reported = append(reported, v)
+			}
+		}
+		for i := 1; i < len(reported); i++ {
+			if math.Abs(reported[i]-reported[i-1]) < soft {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

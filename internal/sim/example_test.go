@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"wmsn/internal/sim"
+)
+
+// ExampleKernel demonstrates the discrete-event core: schedule, run, read
+// the virtual clock.
+func ExampleKernel() {
+	k := sim.NewKernel(1)
+	k.After(2*sim.Second, func() { fmt.Println("beep at", k.Now()) })
+	k.After(sim.Second, func() { fmt.Println("boop at", k.Now()) })
+	k.RunAll()
+	// Output:
+	// boop at 1.000000s
+	// beep at 2.000000s
+}
+
+// ExampleKernel_Every shows periodic work with a repeater.
+func ExampleKernel_Every() {
+	k := sim.NewKernel(1)
+	ticks := 0
+	var rep *sim.Repeater
+	rep = k.Every(100*sim.Millisecond, func() {
+		ticks++
+		if ticks == 3 {
+			rep.Stop()
+		}
+	})
+	k.Run(sim.Second)
+	fmt.Println("ticks:", ticks)
+	// Output: ticks: 3
+}

@@ -1,0 +1,241 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock measured in microseconds and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in the order they were scheduled (FIFO tie-break on a monotonically
+// increasing sequence number), which makes every run with the same seed and
+// the same schedule fully reproducible.
+//
+// All protocol logic in this repository — radio transmissions, routing
+// timers, traffic generation, gateway movement rounds — is driven by this
+// kernel. Nothing in the simulator reads wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a virtual time instant in microseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration = Time
+
+// Common durations, for readability at call sites.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// event is a single scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64 // schedule order; breaks ties deterministically
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	k  *Kernel
+	ev *event
+}
+
+// Stop cancels the timer if it has not fired yet. It reports whether the
+// timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.k.queue, t.ev.index)
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.index >= 0 }
+
+// Kernel is a discrete-event scheduler with a deterministic random source.
+//
+// A Kernel is not safe for concurrent use; the entire simulation runs on the
+// caller's goroutine. This is deliberate: determinism and reproducibility
+// matter more here than multicore speedup, and individual experiment runs
+// are independently parallelizable at a higher level (go test -parallel).
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns a kernel with its clock at zero and a random source
+// seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events currently scheduled.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// ScheduleAt schedules fn to run at the absolute virtual time at. Scheduling
+// in the past panics: it would silently corrupt causality.
+func (k *Kernel) ScheduleAt(at Time, fn func()) *Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return &Timer{k: k, ev: ev}
+}
+
+// After schedules fn to run d microseconds from now.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.ScheduleAt(k.now+d, fn)
+}
+
+// Every schedules fn to run every interval, starting after the first
+// interval, until the returned Repeater is stopped or the run ends.
+func (k *Kernel) Every(interval Duration, fn func()) *Repeater {
+	if interval <= 0 {
+		panic("sim: non-positive repeat interval")
+	}
+	r := &Repeater{k: k, interval: interval, fn: fn}
+	r.arm()
+	return r
+}
+
+// Repeater re-schedules a callback at a fixed interval.
+type Repeater struct {
+	k        *Kernel
+	interval Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+func (r *Repeater) arm() {
+	r.timer = r.k.After(r.interval, func() {
+		if r.stopped {
+			return
+		}
+		r.fn()
+		if !r.stopped {
+			r.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (r *Repeater) Stop() {
+	r.stopped = true
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.queue).(*event)
+	k.now = ev.at
+	if ev.fn != nil {
+		fn := ev.fn
+		ev.fn = nil
+		k.fired++
+		fn()
+	}
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or the next
+// event would fire after until. The clock is left at the time of the last
+// executed event (or advanced to until when the horizon is hit with events
+// still pending). Run returns the number of events executed.
+func (k *Kernel) Run(until Time) uint64 {
+	k.stopped = false
+	start := k.fired
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		if k.queue[0].at > until {
+			k.now = until
+			break
+		}
+		k.Step()
+	}
+	return k.fired - start
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (k *Kernel) RunAll() uint64 {
+	k.stopped = false
+	start := k.fired
+	for !k.stopped && k.Step() {
+	}
+	return k.fired - start
+}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelStartsAtZero(t *testing.T) {
+	k := NewKernel(1)
+	if k.Now() != 0 {
+		t.Fatalf("new kernel clock = %v, want 0", k.Now())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("new kernel pending = %d, want 0", k.Pending())
+	}
+}
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	k := NewKernel(1)
+	var got []Time
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		k.ScheduleAt(at, func() { got = append(got, k.Now()) })
+	}
+	k.RunAll()
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIFOTieBreakAtSameInstant(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.ScheduleAt(5, func() { order = append(order, i) })
+	}
+	k.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.ScheduleAt(100, func() {})
+	k.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.ScheduleAt(50, func() {})
+}
+
+func TestAfterRelativeScheduling(t *testing.T) {
+	k := NewKernel(1)
+	var at Time = -1
+	k.After(100, func() {
+		k.After(50, func() { at = k.Now() })
+	})
+	k.RunAll()
+	if at != 150 {
+		t.Fatalf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.After(-5, func() { fired = true })
+	k.RunAll()
+	if !fired || k.Now() != 0 {
+		t.Fatalf("After(-5) fired=%v now=%v, want true at 0", fired, k.Now())
+	}
+}
+
+func TestRunHorizonLeavesPendingEvents(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.ScheduleAt(at, func() { fired = append(fired, at) })
+	}
+	n := k.Run(25)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("Run(25) executed %d events (%v), want 2", n, fired)
+	}
+	if k.Now() != 25 {
+		t.Fatalf("clock after horizon = %v, want 25", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending after horizon = %d, want 2", k.Pending())
+	}
+	k.RunAll()
+	if len(fired) != 4 {
+		t.Fatalf("resumed run fired %d total, want 4", len(fired))
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	tm := k.After(10, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before run")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	k.RunAll()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.After(10, func() {})
+	k.RunAll()
+	if tm.Pending() {
+		t.Fatal("timer pending after firing")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.ScheduleAt(Time(i), func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.RunAll()
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+	// The run must be resumable.
+	k.RunAll()
+	if count != 10 {
+		t.Fatalf("resumed run executed %d total, want 10", count)
+	}
+}
+
+func TestRepeater(t *testing.T) {
+	k := NewKernel(1)
+	var fires []Time
+	var rep *Repeater
+	rep = k.Every(100, func() {
+		fires = append(fires, k.Now())
+		if len(fires) == 5 {
+			rep.Stop()
+		}
+	})
+	k.Run(10_000)
+	if len(fires) != 5 {
+		t.Fatalf("repeater fired %d times, want 5", len(fires))
+	}
+	for i, at := range fires {
+		if want := Time(100 * (i + 1)); at != want {
+			t.Fatalf("fire %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	k.Every(0, func() {})
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []int64 {
+		k := NewKernel(seed)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, int64(k.Now()), k.rng.Int63n(1000))
+			if len(out) < 200 {
+				k.After(Duration(1+k.rng.Int63n(50)), step)
+			}
+		}
+		k.After(1, step)
+		k.RunAll()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Property: regardless of the (possibly duplicated, unsorted) schedule,
+// events fire in non-decreasing time order and all of them fire.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		k := NewKernel(7)
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			k.ScheduleAt(at, func() { fired = append(fired, at) })
+		}
+		k.RunAll()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the kernel clock never runs backwards across any interleaving of
+// Step/After calls driven by random data.
+func TestQuickClockMonotonic(t *testing.T) {
+	f := func(seed int64, deltas []uint8) bool {
+		k := NewKernel(seed)
+		last := Time(-1)
+		for _, d := range deltas {
+			k.After(Duration(d), func() {
+				if k.Now() < last {
+					t.Errorf("clock went backwards: %v after %v", k.Now(), last)
+				}
+				last = k.Now()
+			})
+		}
+		k.RunAll()
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1_000_000 {
+		t.Fatalf("Second = %d µs, want 1e6", int64(Second))
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds() = %v, want 2", got)
+	}
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Fatalf("Millis() = %v, want 1.5", got)
+	}
+	if s := Time(1500000).String(); s != "1.500000s" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 7; i++ {
+		k.After(Duration(i), func() {})
+	}
+	k.RunAll()
+	if k.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", k.Fired())
+	}
+}
+
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		for j := 0; j < 1000; j++ {
+			k.ScheduleAt(Time(rng.Int63n(1_000_000)), func() {})
+		}
+		k.RunAll()
+	}
+}

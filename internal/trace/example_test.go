@@ -1,0 +1,21 @@
+package trace_test
+
+import (
+	"os"
+
+	"wmsn/internal/trace"
+)
+
+// ExampleTable renders a small aligned results table.
+func ExampleTable() {
+	t := trace.NewTable("delivery by protocol", "protocol", "ratio")
+	t.AddRow("spr", 0.998)
+	t.AddRow("mlr", 1.0)
+	t.Render(os.Stdout)
+	// Output:
+	// delivery by protocol
+	//   protocol  ratio
+	//   --------  -----
+	//   spr       0.998
+	//   mlr       1
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("E1: hops", "k", "avg hops", "max")
+	tbl.AddRow(1, 5.25, 9)
+	tbl.AddRow(2, 3.0, 6)
+	tbl.AddNote("seeds: %d", 5)
+	out := tbl.String()
+	for _, frag := range []string{"E1: hops", "k", "avg hops", "5.250", "3", "note: seeds: 5", "---"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	// Columns aligned: header row and data rows have the same prefix width
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count: %d", len(lines))
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		5:        "5",
+		5.25:     "5.250",
+		0.000001: "1.00e-06",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("NaN = %q", got)
+	}
+	if got := formatFloat(math.Inf(1)); got != "Inf" {
+		t.Errorf("Inf = %q", got)
+	}
+}
+
+func TestMeanStdDevMinMax(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+	min, max := MinMax(xs)
+	if min != 2 || max != 9 {
+		t.Fatalf("minmax = %v/%v", min, max)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty-input stats should be 0")
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Fatal("empty MinMax should be 0,0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != "50.0%" {
+		t.Fatalf("Ratio = %q", Ratio(1, 2))
+	}
+	if Ratio(1, 0) != "-" {
+		t.Fatalf("Ratio div0 = %q", Ratio(1, 0))
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow(1) // fewer cells than headers must not panic
+	out := tbl.String()
+	if !strings.Contains(out, "1") {
+		t.Fatalf("ragged row lost: %s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := NewTable("T1", "a", "b")
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x,y", "q\"z") // needs CSV quoting
+	tbl.AddNote("n1")
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"# T1", "a,b", "1,2.500", "\"x,y\"", "# n1"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("CSV missing %q:\n%s", frag, out)
+		}
+	}
+}

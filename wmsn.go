@@ -1,0 +1,293 @@
+// Package wmsn is a discrete-event simulator and protocol library for
+// Wireless Mesh Sensor Networks, reproducing Tang et al., "Wireless Mesh
+// Sensor Networks in Pervasive Environment: a Reliable Architecture and
+// Routing Protocol" (ICPP 2007; extended journal version "Secure Routing
+// for Wireless Mesh Sensor Networks in Pervasive Environments", IJICS
+// 12(4), 2007).
+//
+// The library provides:
+//
+//   - The paper's three routing protocols: SPR (shortest-path routing to
+//     the best of m gateways), MLR (maximal-network-lifetime routing with
+//     round-based gateway mobility and incremental routing tables), and
+//     SecMLR (MLR hardened with pairwise keys, MACs, counters and µTESLA
+//     broadcast authentication).
+//   - The substrates they need: a deterministic event kernel, a unit-disk
+//     radio model with loss and collisions, battery/energy accounting, a
+//     link-state wireless mesh backbone with self-healing, and a
+//     symmetric-crypto toolkit.
+//   - Flat-architecture baselines (flooding, gossiping, direct, MCFA,
+//     LEACH), eight network-layer attacks, gateway placement models, and
+//     the full experiment suite (E1–E12) behind cmd/wmsnbench.
+//
+// Quick start:
+//
+//	res := wmsn.Run(wmsn.Config{
+//	    Seed: 1, Protocol: wmsn.SPR,
+//	    NumSensors: 100, Side: 200, SensorRange: 35, NumGateways: 3,
+//	})
+//	fmt.Println(res.Metrics.DeliveryRatio())
+//
+// See examples/ for richer scenarios and DESIGN.md for the system map.
+package wmsn
+
+import (
+	"wmsn/internal/attack"
+	"wmsn/internal/baseline"
+	"wmsn/internal/core"
+	"wmsn/internal/energy"
+	"wmsn/internal/experiments"
+	"wmsn/internal/geom"
+	"wmsn/internal/mesh"
+	"wmsn/internal/network"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/placement"
+	"wmsn/internal/scenario"
+	"wmsn/internal/sensing"
+	"wmsn/internal/sim"
+	"wmsn/internal/trace"
+)
+
+// Geometry and identity.
+type (
+	// Point is a planar location in meters.
+	Point = geom.Point
+	// Rect is an axis-aligned region.
+	Rect = geom.Rect
+	// NodeID identifies a node.
+	NodeID = packet.NodeID
+	// Packet is one frame on the simulated air.
+	Packet = packet.Packet
+)
+
+// Virtual time.
+type (
+	// Time is a virtual instant in microseconds.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+)
+
+// Time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// Scenario plumbing: Config describes an experiment, Net is a built network,
+// Result summarizes a completed run.
+type (
+	Config   = scenario.Config
+	Net      = scenario.Net
+	Result   = scenario.Result
+	Protocol = scenario.Protocol
+	// Metrics aggregates end-to-end protocol behaviour.
+	Metrics = core.Metrics
+)
+
+// Protocols.
+const (
+	SPR       = scenario.SPR
+	MLR       = scenario.MLR
+	SecMLR    = scenario.SecMLR
+	Flooding  = scenario.Flooding
+	Gossiping = scenario.Gossiping
+	Direct    = scenario.Direct
+	MCFA      = scenario.MCFA
+	LEACH     = scenario.LEACH
+	PEGASIS   = scenario.PEGASIS
+	SPIN      = scenario.SPIN
+)
+
+// Sensing: the synthetic environment and TEEN threshold reporting.
+type (
+	// SensingField is a scalar environment sampled by sensors.
+	SensingField = sensing.Field
+	// AmbientField is a constant background level.
+	AmbientField = sensing.Ambient
+	// EventField is an ambient level plus localized Gaussian events.
+	EventField = sensing.EventField
+	// SensingEvent is one localized disturbance.
+	SensingEvent = sensing.Event
+	// TEENFilter is the per-node hard/soft threshold filter.
+	TEENFilter = sensing.TEEN
+	// TEENConfig enables threshold-sensitive reporting in a scenario.
+	TEENConfig = scenario.TEENConfig
+)
+
+// NewTEENFilter creates a threshold filter.
+var NewTEENFilter = sensing.NewTEEN
+
+// Run builds the network described by cfg, drives its reporting workload to
+// the horizon, and returns the aggregated result.
+func Run(cfg Config) Result { return scenario.Run(cfg) }
+
+// Build constructs the network for cfg without starting traffic, for callers
+// that want to inject failures, attackers or custom workloads first.
+func Build(cfg Config) *Net { return scenario.Build(cfg) }
+
+// GatewayID returns the node ID of the i-th gateway in a scenario.
+func GatewayID(i int) NodeID { return scenario.GatewayID(i) }
+
+// Deployment strategies for Config.Deploy.
+type (
+	// UniformDeploy scatters sensors uniformly at random.
+	UniformDeploy = geom.Uniform
+	// GridDeploy places sensors on a jittered lattice.
+	GridDeploy = geom.Grid
+	// ClusterDeploy concentrates sensors in Gaussian clusters.
+	ClusterDeploy = geom.Clusters
+	// HotspotDeploy concentrates a fraction of sensors in a sub-region.
+	HotspotDeploy = geom.Hotspot
+)
+
+// Square returns a side x side region at the origin.
+func Square(side float64) Rect { return geom.Square(side) }
+
+// Energy models for Config.EnergyModel.
+type (
+	// FixedPerBitEnergy charges constant energy per bit (§5.2 assumption).
+	FixedPerBitEnergy = energy.FixedPerBit
+	// FirstOrderEnergy is the Heinzelman first-order radio model.
+	FirstOrderEnergy = energy.FirstOrder
+	// EnergyStats summarizes per-node energy use.
+	EnergyStats = energy.Stats
+)
+
+// Default energy parameterizations.
+var (
+	DefaultFixedEnergy      = energy.DefaultFixed
+	DefaultFirstOrderEnergy = energy.DefaultFirstOrder
+)
+
+// Core protocol types, for callers assembling networks by hand (see the
+// node and core packages' docs for the full surface).
+type (
+	// World owns the kernel, media and devices of one simulation.
+	World = node.World
+	// Device is one simulated node.
+	Device = node.Device
+	// Stack is a protocol state machine attached to a device.
+	Stack = node.Stack
+	// Route is a routing-table entry.
+	Route = core.Route
+	// Params tunes protocol timing.
+	Params = core.Params
+	// Rounds drives MLR gateway mobility.
+	Rounds = core.Rounds
+	// TraceEvent is one observable world action (see World.SetTrace).
+	TraceEvent = node.TraceEvent
+)
+
+// NewWorld builds an empty world with the given seed and defaults.
+func NewWorld(seed int64) *World { return node.NewWorld(node.Config{Seed: seed}) }
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics { return core.NewMetrics() }
+
+// DefaultParams returns the default protocol parameters.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Protocol stack constructors (sensor side / gateway side).
+var (
+	NewSPRSensor     = core.NewSPRSensor
+	NewSPRGateway    = core.NewSPRGateway
+	NewMLRSensor     = core.NewMLRSensor
+	NewMLRGateway    = core.NewMLRGateway
+	NewSecMLRSensor  = core.NewSecMLRSensor
+	NewSecMLRGateway = core.NewSecMLRGateway
+	ProvisionKeys    = core.ProvisionKeys
+)
+
+// Mesh backbone (the middle layer of the architecture).
+type (
+	// MeshRouter is a link-state router on a mesh-capable device.
+	MeshRouter = mesh.Router
+	// MeshBackbone wires devices into one routed mesh.
+	MeshBackbone = mesh.Backbone
+	// MeshConfig tunes the mesh control plane.
+	MeshConfig = mesh.Config
+)
+
+// Mesh constructors.
+var (
+	NewMeshRouter     = mesh.NewRouter
+	NewMeshBackbone   = mesh.NewBackbone
+	DefaultMeshConfig = mesh.DefaultConfig
+)
+
+// Attacks, for security evaluations.
+type (
+	// SelectiveForwarder drops a fraction of forwarded data (grayhole).
+	SelectiveForwarder = attack.SelectiveForwarder
+	// Replayer captures and re-injects packets.
+	Replayer = attack.Replayer
+	// Sinkhole forges irresistible routes and swallows traffic.
+	Sinkhole = attack.Sinkhole
+	// HelloFlood broadcasts forged long-range gateway notifications.
+	HelloFlood = attack.HelloFlood
+	// Sybil originates data under forged identities.
+	Sybil = attack.Sybil
+	// AckSpoofer drops data and fakes gateway acknowledgments.
+	AckSpoofer = attack.AckSpoofer
+)
+
+// Attack constructors.
+var (
+	NewReplayer = attack.NewReplayer
+	NewWormhole = attack.NewWormhole
+)
+
+// Baseline stacks.
+var (
+	NewFloodingStack  = baseline.NewFlooding
+	NewGossipingStack = baseline.NewGossiping
+	NewDirectStack    = baseline.NewDirect
+	NewMCFAStack      = baseline.NewMCFA
+	NewLEACHStack     = baseline.NewLEACH
+	NewPEGASISStack   = baseline.NewPEGASIS
+	NewSPINStack      = baseline.NewSPIN
+	NewRumorStack     = baseline.NewRumorNode
+	NewDiffusionStack = baseline.NewDiffusion
+	NewDiffusionSink  = baseline.NewDiffusionSink
+	NewSinkStack      = baseline.NewSink
+)
+
+// Placement models (§4.1).
+type (
+	// PlacementStrategy places k gateways for a sensor field.
+	PlacementStrategy = placement.Strategy
+	// PlacementEval summarizes hop statistics of a placement.
+	PlacementEval = placement.Eval
+)
+
+// Placement helpers.
+var (
+	EvaluatePlacement = placement.Evaluate
+	RotationSchedule  = placement.RotationSchedule
+	SlidingSchedule   = placement.SlidingSchedule
+	Kmax              = placement.Kmax
+)
+
+// Graph is the unit-disk connectivity view of a deployment.
+type Graph = network.Graph
+
+// GraphFromWorld builds the sensor-layer connectivity graph of a world.
+func GraphFromWorld(w *World) *Graph { return network.FromWorld(w) }
+
+// Experiments exposes the reproduction suite (E1..E12) programmatically;
+// cmd/wmsnbench is its CLI.
+type (
+	// Experiment is one reproduction experiment.
+	Experiment = experiments.Experiment
+	// ExperimentOpts scales an experiment run.
+	ExperimentOpts = experiments.Opts
+	// Table is an aligned text table of results.
+	Table = trace.Table
+)
+
+// AllExperiments returns the suite in order.
+func AllExperiments() []Experiment { return experiments.All() }
