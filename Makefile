@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover bench experiments experiments-quick fuzz examples clean
+.PHONY: all build test test-short cover vet race bench bench-json experiments experiments-quick fuzz examples clean
 
 all: build test
 
@@ -19,8 +19,25 @@ test-short:
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector; exercises the parallel experiment
+# runner (TestParallelOutputByteIdentical and the runner package tests).
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Snapshot the headline benchmarks (end-to-end throughput, kernel scheduling,
+# parallel-runner speedup) as JSON into BENCH_baseline.json, diffed against
+# the committed seed-revision snapshot (BENCH_seed.json).
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndSecMLR$$|BenchmarkExperimentParallel$$' -benchmem . > bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkKernelSchedule$$' -benchmem ./internal/sim/ >> bench_output.txt
+	$(GO) run ./cmd/benchjson -prev BENCH_seed.json < bench_output.txt > BENCH_baseline.json
+	rm -f bench_output.txt
 
 # Regenerate every reproduced table/figure at full scale (~8 minutes).
 experiments:

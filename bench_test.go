@@ -7,6 +7,8 @@ package wmsn_test
 // cmd/wmsnbench for the full-scale tables recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"wmsn"
@@ -98,6 +100,37 @@ func BenchmarkEndToEndSecMLR(b *testing.B) {
 		if res.Metrics.Delivered == 0 {
 			b.Fatal("nothing delivered")
 		}
+	}
+}
+
+// BenchmarkExperimentParallel measures the worker-pool speedup on a batch of
+// independent scenario runs (16 seeds of the BenchmarkEndToEndSPR workload):
+// the sequential baseline against one worker per CPU. The two sub-benchmarks
+// produce identical results by construction (see TestParallelOutputByteIdentical);
+// only wall-clock differs. On a single-CPU host the two are equivalent.
+func BenchmarkExperimentParallel(b *testing.B) {
+	const batch = 16
+	cfgs := make([]wmsn.Config, batch)
+	for s := range cfgs {
+		cfgs[s] = wmsn.Config{
+			Seed: int64(s + 1), Protocol: wmsn.SPR,
+			NumSensors: 80, Side: 180, SensorRange: 40, NumGateways: 3,
+			ReportInterval: 10 * wmsn.Second, RunFor: 60 * wmsn.Second,
+			SensorBattery: 1e6,
+		}
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := wmsn.RunMany(workers, cfgs)
+				for _, res := range results {
+					if res.Metrics.Delivered == 0 {
+						b.Fatal("nothing delivered")
+					}
+				}
+			}
+		})
 	}
 }
 

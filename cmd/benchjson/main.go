@@ -1,0 +1,221 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a stable JSON document, for snapshotting benchmark baselines in the
+// repo (see the Makefile bench-json target and BENCH_baseline.json).
+//
+//	go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchjson
+//
+// Each benchmark line becomes one record with its iteration count and every
+// value/unit pair (ns/op, B/op, allocs/op, custom ReportMetric units). When
+// two benchmark names differ only in a `/workers=N` suffix, a derived
+// speedup record (sequential ns/op divided by parallel ns/op) is appended.
+// With -prev pointing at an earlier report (e.g. the committed seed
+// snapshot), shared benchmarks additionally get previous/current ratios for
+// ns/op and allocs/op — values above 1 mean the current code improved.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        []string    `json:"packages,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Speedups maps a benchmark family (name without the /workers=N suffix)
+	// to sequential-ns-per-op / parallel-ns-per-op.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+	// VsPrevious maps benchmark names shared with the -prev report to
+	// improvement ratios (previous / current; >1 = current is better).
+	VsPrevious map[string]Delta `json:"vs_previous,omitempty"`
+}
+
+// Delta compares one benchmark against a previous report.
+type Delta struct {
+	NsRatio     float64 `json:"ns_ratio,omitempty"`
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+}
+
+func main() {
+	prev := flag.String("prev", "", "previous report JSON to diff against (e.g. the seed snapshot)")
+	flag.Parse()
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+	if *prev != "" {
+		if err := diffPrevious(rep, *prev); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = append(rep.Pkg, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   120   9876543 ns/op   1234 B/op   56 allocs/op
+//
+// Value/unit pairs after the iteration count are collected verbatim.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Trim the -GOMAXPROCS suffix the testing package appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+// diffPrevious loads an earlier report and records improvement ratios for
+// every benchmark name both reports share.
+func diffPrevious(rep *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range rep.Benchmarks {
+		o, ok := byName[b.Name]
+		if !ok {
+			continue
+		}
+		var d Delta
+		if ons, ns := o.Metrics["ns/op"], b.Metrics["ns/op"]; ons > 0 && ns > 0 {
+			d.NsRatio = ons / ns
+		}
+		if oa, a := o.Metrics["allocs/op"], b.Metrics["allocs/op"]; oa > 0 && a > 0 {
+			d.AllocsRatio = oa / a
+		}
+		if d == (Delta{}) {
+			continue
+		}
+		if rep.VsPrevious == nil {
+			rep.VsPrevious = map[string]Delta{}
+		}
+		rep.VsPrevious[b.Name] = d
+	}
+	return nil
+}
+
+// speedups derives, for every benchmark family that has both a /workers=1
+// and a /workers=N (N>1) variant, the wall-clock ratio between them.
+func speedups(benches []Benchmark) map[string]float64 {
+	type pair struct{ seq, par float64 }
+	families := map[string]*pair{}
+	for _, b := range benches {
+		i := strings.LastIndex(b.Name, "/workers=")
+		if i < 0 {
+			continue
+		}
+		n, err := strconv.Atoi(b.Name[i+len("/workers="):])
+		if err != nil {
+			continue
+		}
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			continue
+		}
+		fam := b.Name[:i]
+		p := families[fam]
+		if p == nil {
+			p = &pair{}
+			families[fam] = p
+		}
+		if n == 1 {
+			p.seq = ns
+		} else {
+			p.par = ns // highest worker count seen wins; files list them in order
+		}
+	}
+	out := map[string]float64{}
+	keys := make([]string, 0, len(families))
+	for fam := range families {
+		keys = append(keys, fam)
+	}
+	sort.Strings(keys)
+	for _, fam := range keys {
+		p := families[fam]
+		if p.seq > 0 && p.par > 0 {
+			out[fam] = p.seq / p.par
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

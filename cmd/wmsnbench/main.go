@@ -1,0 +1,67 @@
+// Command wmsnbench regenerates every reproduced table and figure of the
+// paper (the E1..E12 suite indexed in DESIGN.md) and prints them as text
+// tables. Run with -quick for a fast smoke pass, or -only E4,E5 to select
+// specific experiments. Independent runs within each experiment execute on
+// a worker pool (-workers, default one per CPU); the output is byte-identical
+// to a sequential run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wmsn/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced-scale variant of each experiment")
+	seeds := flag.Int("seeds", 0, "override the number of seeds per data point (0 = per-experiment default)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E9); empty runs all")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	workers := flag.Int("workers", 0, "parallel runs per experiment (0 = one per CPU, 1 = sequential); output is identical either way")
+	flag.Parse()
+
+	suite := experiments.All()
+	if *list {
+		for _, e := range suite {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	opts := experiments.Opts{Quick: *quick, Seeds: *seeds, Workers: *workers}
+	ran := 0
+	for _, e := range suite {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		for _, tbl := range e.Run(opts) {
+			if *csvOut {
+				if err := tbl.RenderCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			} else {
+				fmt.Println(tbl.String())
+			}
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -83,21 +83,28 @@ func E1HopReduction(o Opts) []*trace.Table {
 		exact.AddRow(name, paperSink[name], g.Hops(id, sink), paperGW[name], hGW)
 	}
 
-	// Part B: sweep the number of gateways on a uniform random field.
+	// Part B: sweep the number of gateways on a uniform random field. Every
+	// (m, seed) cell is an independent deterministic job: fan them all out
+	// and fold the averages in submission order.
 	n := pick(o, 300, 80)
 	side := pick(o, 300.0, 160.0)
 	rangeM := 40.0
 	seeds := o.seeds(5)
+	maxM := pick(o, 8, 4)
 	sweep := trace.NewTable(
 		fmt.Sprintf("E1b: avg hops to nearest gateway, %d sensors uniform on %.0fm field", n, side),
 		"gateways m", "avg hops", "max hops", "total hops (∝ energy)", "unreachable")
-	for m := 1; m <= pick(o, 8, 4); m++ {
+	evals := forEach(o, maxM*seeds, func(i int) placement.Eval {
+		m, s := i/seeds+1, i%seeds
+		w := node.NewWorld(node.Config{Seed: int64(1000*m + s)})
+		sensors := (geom.Uniform{}).Deploy(n, geom.Square(side), w.Kernel().Rand())
+		gpos := (placement.Grid{}).Place(sensors, m, geom.Square(side), w.Kernel().Rand())
+		return placement.Evaluate(sensors, gpos, rangeM)
+	})
+	for m := 1; m <= maxM; m++ {
 		var avg, maxH, tot, unre float64
 		for s := 0; s < seeds; s++ {
-			w := node.NewWorld(node.Config{Seed: int64(1000*m + s)})
-			sensors := (geom.Uniform{}).Deploy(n, geom.Square(side), w.Kernel().Rand())
-			gpos := (placement.Grid{}).Place(sensors, m, geom.Square(side), w.Kernel().Rand())
-			ev := placement.Evaluate(sensors, gpos, rangeM)
+			ev := evals[(m-1)*seeds+s]
 			avg += ev.AvgHops
 			maxH += float64(ev.MaxHops)
 			tot += float64(ev.TotalHops)
@@ -130,6 +137,13 @@ func E2Table1(o Opts) []*trace.Table {
 	schedule := [][]int{{0, 1, 2}, {0, 3, 2}, {4, 3, 2}}
 	roundLen := 20 * sim.Second
 
+	// E2 is one multi-round simulation whose rounds share routing state, so
+	// there is nothing to fan out; it rides the worker pool as a single job
+	// like every other experiment.
+	return forEach(o, 1, func(int) []*trace.Table { return e2Rounds(sensors, places, names, schedule, roundLen) })[0]
+}
+
+func e2Rounds(sensors []geom.Point, places []geom.Point, names []string, schedule [][]int, roundLen sim.Duration) []*trace.Table {
 	w := node.NewWorld(node.Config{Seed: 3})
 	m := core.NewMetrics()
 	params := core.DefaultParams()
@@ -196,17 +210,29 @@ func E3Scalability(o Opts) []*trace.Table {
 	seeds := o.seeds(2)
 	tbl := trace.NewTable("E3: scalability at constant density (SPR, uniform field)",
 		"sensors n", "field side m", "gateways", "avg hops", "mean latency ms", "delivery")
+	var cfgs []scenario.Config
 	for _, n := range sizes {
 		side := 200 * math.Sqrt(float64(n)/100)
 		for _, gws := range []int{1, 4} {
-			var hops, lat, ratio float64
 			for s := 0; s < seeds; s++ {
-				res := scenario.Run(scenario.Config{
+				cfgs = append(cfgs, scenario.Config{
 					Seed: int64(10*n + gws + s), Protocol: scenario.SPR,
 					NumSensors: n, Side: side, SensorRange: 40, NumGateways: gws,
 					ReportInterval: 20 * sim.Second, RunFor: 80 * sim.Second,
 					SensorBattery: 1e6, // hops/latency study; keep the storm from killing relays
 				})
+			}
+		}
+	}
+	results := runConfigs(o, cfgs)
+	i := 0
+	for _, n := range sizes {
+		side := 200 * math.Sqrt(float64(n)/100)
+		for _, gws := range []int{1, 4} {
+			var hops, lat, ratio float64
+			for s := 0; s < seeds; s++ {
+				res := results[i]
+				i++
 				hops += res.Metrics.MeanHops()
 				lat += res.Metrics.MeanLatency().Millis()
 				ratio += res.Metrics.DeliveryRatio()

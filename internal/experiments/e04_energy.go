@@ -53,13 +53,20 @@ func E4Lifetime(o Opts) []*trace.Table {
 	seeds := o.seeds(3)
 	tbl := trace.NewTable("E4: network lifetime (first sensor death) and energy balance",
 		"protocol", "lifetime s", "delivered", "mean energy mJ", "energy CV", "delivery ratio")
+	var cfgs []scenario.Config
 	for _, v := range variants {
-		var life, delivered, meanE, cv, ratio float64
 		for s := 0; s < seeds; s++ {
 			cfg := lifetimeCfg(o, int64(100+s))
 			cfg.Protocol = v.protocol
 			cfg.NumGateways = v.gateways
-			res := scenario.Run(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runConfigs(o, cfgs)
+	for vi, v := range variants {
+		var life, delivered, meanE, cv, ratio float64
+		for s := 0; s < seeds; s++ {
+			res := results[vi*seeds+s]
 			lifetime := res.Elapsed.Seconds()
 			if res.FirstDeath >= 0 {
 				lifetime = res.FirstDeath.Seconds()
@@ -88,13 +95,20 @@ func E5GatewayNumber(o Opts) []*trace.Table {
 	tbl := trace.NewTable("E5: lifetime vs number of gateways k (SPR, grid placement)",
 		"k", "lifetime s", "avg hops", "mean energy mJ", "delivery ratio")
 	var lifetimes []float64
+	cfgs := make([]scenario.Config, 0, maxK*seeds)
 	for k := 1; k <= maxK; k++ {
-		var life, hops, meanE, ratio float64
 		for s := 0; s < seeds; s++ {
 			cfg := lifetimeCfg(o, int64(200+s))
 			cfg.Protocol = scenario.SPR
 			cfg.NumGateways = k
-			res := scenario.Run(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runConfigs(o, cfgs)
+	for k := 1; k <= maxK; k++ {
+		var life, hops, meanE, ratio float64
+		for s := 0; s < seeds; s++ {
+			res := results[(k-1)*seeds+s]
 			lifetime := res.Elapsed.Seconds()
 			if res.FirstDeath >= 0 {
 				lifetime = res.FirstDeath.Seconds()

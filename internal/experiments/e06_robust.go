@@ -25,12 +25,31 @@ func E6Robustness(o Opts) []*trace.Table {
 
 	tbl := trace.NewTable("E6: delivery ratio after failing a fraction of sensors mid-run (SPR)",
 		"failed %", "single sink", "3 gateways")
+	type job struct {
+		frac float64
+		gws  int
+		s    int
+	}
+	var jobs []job
+	for _, frac := range fracs {
+		for _, gws := range []int{1, 3} {
+			for s := 0; s < seeds; s++ {
+				jobs = append(jobs, job{frac, gws, s})
+			}
+		}
+	}
+	ratios := forEach(o, len(jobs), func(i int) float64 {
+		j := jobs[i]
+		return failureRun(int64(300+j.s), n, side, j.gws, j.frac, horizon)
+	})
+	i := 0
 	for _, frac := range fracs {
 		row := []any{fmt.Sprintf("%.0f%%", frac*100)}
-		for _, gws := range []int{1, 3} {
+		for range 2 { // single sink, 3 gateways
 			var ratio float64
 			for s := 0; s < seeds; s++ {
-				ratio += failureRun(o, int64(300+s), n, side, gws, frac, horizon)
+				ratio += ratios[i]
+				i++
 			}
 			row = append(row, ratio/float64(seeds))
 		}
@@ -42,7 +61,7 @@ func E6Robustness(o Opts) []*trace.Table {
 
 // failureRun runs SPR, fails frac of the sensors at half-horizon, and
 // returns the delivery ratio of post-failure traffic.
-func failureRun(o Opts, seed int64, n int, side float64, gws int, frac float64, horizon sim.Time) float64 {
+func failureRun(seed int64, n int, side float64, gws int, frac float64, horizon sim.Time) float64 {
 	net := scenario.Build(scenario.Config{
 		Seed: seed, Protocol: scenario.SPR, NumSensors: n, Side: side,
 		SensorRange: 40, NumGateways: gws,
@@ -96,16 +115,22 @@ func E7SinkFailure(o Opts) []*trace.Table {
 		proto scenario.Protocol
 		gws   int
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{"MLR, 1 gateway, kill 1 (flat)", scenario.MLR, 1},
 		{"MLR, 3 gateways, kill 1", scenario.MLR, 3},
 		{"SecMLR, 3 gateways, kill 1 (ACK failover)", scenario.SecMLR, 3},
-	} {
+	}
+	type sample struct{ before, after float64 }
+	samples := forEach(o, len(variants)*seeds, func(i int) sample {
+		v, s := variants[i/seeds], i%seeds
+		b, a := sinkFailureRun(int64(400+s), v.proto, n, side, v.gws, horizon)
+		return sample{b, a}
+	})
+	for vi, v := range variants {
 		var before, after float64
 		for s := 0; s < seeds; s++ {
-			b, a := sinkFailureRun(int64(400+s), v.proto, n, side, v.gws, horizon)
-			before += b
-			after += a
+			before += samples[vi*seeds+s].before
+			after += samples[vi*seeds+s].after
 		}
 		f := float64(seeds)
 		retained := "-"
@@ -174,12 +199,13 @@ func E8LoadBalance(o Opts) []*trace.Table {
 		sliding  bool // sliding rotation: every gateway visits every place
 		shed     bool
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{"SPR (static gateways)", scenario.SPR, 0, false, false},
 		{"MLR, sliding rotation (all gateways visit the hotspot)", scenario.MLR, horizon / 6, true, false},
 		{"MLR, partitioned rotation + overload shedding (§4.3 ext.)", scenario.MLR, horizon / 6, false, true},
-	} {
-		var share, imb, ratio float64
+	}
+	var cfgs []scenario.Config
+	for _, v := range variants {
 		for s := 0; s < seeds; s++ {
 			cfg := scenario.Config{
 				Seed: int64(500 + s), Protocol: v.protocol, NumSensors: n, Side: side,
@@ -205,7 +231,14 @@ func E8LoadBalance(o Opts) []*trace.Table {
 			if v.roundLen > 0 {
 				cfg.RoundLen = v.roundLen
 			}
-			res := scenario.Run(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runConfigs(o, cfgs)
+	for vi, v := range variants {
+		var share, imb, ratio float64
+		for s := 0; s < seeds; s++ {
+			res := results[vi*seeds+s]
 			per := res.Metrics.PerGateway()
 			var max, total uint64
 			for _, c := range per {

@@ -21,15 +21,23 @@ import (
 func E9AttackMatrix(o Opts) []*trace.Table {
 	attacks := []string{"none", "replay", "spoofed-routing (sinkhole)", "selective-forwarding",
 		"hello-flood", "sybil", "wormhole", "ack-spoofing"}
+	protos := []scenario.Protocol{scenario.MLR, scenario.SecMLR}
 	tbl := trace.NewTable("E9: attack resistance, MLR vs SecMLR",
 		"attack", "protocol", "delivery", "duplicates", "forged accepted", "rejected", "failovers")
-	for _, atk := range attacks {
-		for _, proto := range []scenario.Protocol{scenario.MLR, scenario.SecMLR} {
-			res, forged := attackRun(o, atk, proto)
-			m := res.Metrics
-			tbl.AddRow(atk, string(proto), m.DeliveryRatio(), m.Duplicates, forged,
-				m.RejectedMAC+m.RejectedReplay, m.Failovers)
-		}
+	// Each (attack, protocol) cell is an independent run; fan the whole
+	// matrix out and render in matrix order.
+	type cell struct {
+		res    scenario.Result
+		forged uint64
+	}
+	cells := forEach(o, len(attacks)*len(protos), func(i int) cell {
+		res, forged := attackRun(o, attacks[i/len(protos)], protos[i%len(protos)])
+		return cell{res, forged}
+	})
+	for i, c := range cells {
+		m := c.res.Metrics
+		tbl.AddRow(attacks[i/len(protos)], string(protos[i%len(protos)]), m.DeliveryRatio(),
+			m.Duplicates, c.forged, m.RejectedMAC+m.RejectedReplay, m.Failovers)
 	}
 	tbl.AddNote("ack-spoofing degenerates to a blackhole under MLR (no ACKs exist to forge)")
 	return []*trace.Table{tbl}
@@ -136,16 +144,24 @@ func E10SecurityOverhead(o Opts) []*trace.Table {
 	seeds := o.seeds(3)
 	tbl := trace.NewTable("E10: SecMLR overhead vs plain MLR (3 gateways over 6 places, rotating)",
 		"protocol", "delivery", "control pkts", "data pkts", "bytes on air", "sensor energy mJ", "latency ms")
-	for _, proto := range []scenario.Protocol{scenario.MLR, scenario.SecMLR} {
-		var ratio, ctrl, data, bytes, eng, lat float64
+	protos := []scenario.Protocol{scenario.MLR, scenario.SecMLR}
+	var cfgs []scenario.Config
+	for _, proto := range protos {
 		for s := 0; s < seeds; s++ {
-			res := scenario.Run(scenario.Config{
+			cfgs = append(cfgs, scenario.Config{
 				Seed: int64(1000 + s), Protocol: proto, NumSensors: n, Side: side,
 				SensorRange: 40, NumGateways: 3,
 				RoundLen: horizon / 5, Rounds: 8,
 				ReportInterval: 10 * sim.Second, RunFor: horizon,
 				SensorBattery: 1e6,
 			})
+		}
+	}
+	results := runConfigs(o, cfgs)
+	for pi, proto := range protos {
+		var ratio, ctrl, data, bytes, eng, lat float64
+		for s := 0; s < seeds; s++ {
+			res := results[pi*seeds+s]
 			ratio += res.Metrics.DeliveryRatio()
 			ctrl += float64(res.Metrics.ControlPackets())
 			data += float64(res.Metrics.DataSent)

@@ -37,11 +37,11 @@ func E11TopologyControl(o Opts) []*trace.Table {
 		{"power control k=8", 1.0, 8},
 		{"sleep 70% + power control k=8", 0.7, 8},
 	}
+	var cfgs []scenario.Config
 	for _, v := range variants {
-		var ratio, eng, rxShare, lat float64
+		v := v // each config's Mutate hook captures its own variant
 		for s := 0; s < seeds; s++ {
-			v := v
-			res := scenario.Run(scenario.Config{
+			cfgs = append(cfgs, scenario.Config{
 				Seed: int64(1100 + s), Protocol: scenario.SPR, NumSensors: n, Side: side,
 				SensorRange: 40, NumGateways: 3,
 				ReportInterval: 10 * sim.Second, RunFor: horizon,
@@ -60,6 +60,13 @@ func E11TopologyControl(o Opts) []*trace.Table {
 					}
 				},
 			})
+		}
+	}
+	results := runConfigs(o, cfgs)
+	for vi, v := range variants {
+		var ratio, eng, rxShare, lat float64
+		for s := 0; s < seeds; s++ {
+			res := results[vi*seeds+s]
 			ratio += res.Metrics.DeliveryRatio()
 			eng += res.Energy.Mean * 1000
 			if res.Energy.Total > 0 {
@@ -83,44 +90,54 @@ func E12SPRConvergence(o Opts) []*trace.Table {
 	seeds := o.seeds(3)
 	tbl := trace.NewTable("E12: SPR route optimality and control overhead vs size",
 		"sensors n", "optimal routes", "control pkts", "ctrl per delivered", "delivery")
-	for _, n := range sizes {
+	type sample struct{ optFrac, ctrl, perDel, ratio float64 }
+	samples := forEach(o, len(sizes)*seeds, func(i int) sample {
+		n, s := sizes[i/seeds], i%seeds
+		side := 200 * math.Sqrt(float64(n)/100)
+		net := scenario.Build(scenario.Config{
+			Seed: int64(1200 + s), Protocol: scenario.SPR, NumSensors: n, Side: side,
+			SensorRange: 40, NumGateways: 3,
+			ReportInterval: 15 * sim.Second, RunFor: 90 * sim.Second,
+			SensorBattery: 1e6,
+		})
+		res := net.RunTraffic()
+		// Compare every sensor's discovered hop count with the BFS
+		// optimum over the final topology.
+		g := network.FromWorld(net.World)
+		optimal, routed := 0, 0
+		for _, id := range net.SensorIDs {
+			st, ok := net.Originators[id].(*core.SPRSensor)
+			if !ok {
+				continue
+			}
+			r := st.BestRoute()
+			if r == nil {
+				continue
+			}
+			routed++
+			if _, want := g.NearestOf(id, net.GatewayIDs); want == r.Hops {
+				optimal++
+			}
+		}
+		var out sample
+		if routed > 0 {
+			out.optFrac = float64(optimal) / float64(routed)
+		}
+		out.ctrl = float64(res.Metrics.ControlPackets())
+		if res.Metrics.Delivered > 0 {
+			out.perDel = out.ctrl / float64(res.Metrics.Delivered)
+		}
+		out.ratio = res.Metrics.DeliveryRatio()
+		return out
+	})
+	for ni, n := range sizes {
 		var optFrac, ctrl, perDel, ratio float64
 		for s := 0; s < seeds; s++ {
-			side := 200 * math.Sqrt(float64(n)/100)
-			net := scenario.Build(scenario.Config{
-				Seed: int64(1200 + s), Protocol: scenario.SPR, NumSensors: n, Side: side,
-				SensorRange: 40, NumGateways: 3,
-				ReportInterval: 15 * sim.Second, RunFor: 90 * sim.Second,
-				SensorBattery: 1e6,
-			})
-			res := net.RunTraffic()
-			// Compare every sensor's discovered hop count with the BFS
-			// optimum over the final topology.
-			g := network.FromWorld(net.World)
-			optimal, routed := 0, 0
-			for _, id := range net.SensorIDs {
-				st, ok := net.Originators[id].(*core.SPRSensor)
-				if !ok {
-					continue
-				}
-				r := st.BestRoute()
-				if r == nil {
-					continue
-				}
-				routed++
-				if _, want := g.NearestOf(id, net.GatewayIDs); want == r.Hops {
-					optimal++
-				}
-			}
-			if routed > 0 {
-				optFrac += float64(optimal) / float64(routed)
-			}
-			c := float64(res.Metrics.ControlPackets())
-			ctrl += c
-			if res.Metrics.Delivered > 0 {
-				perDel += c / float64(res.Metrics.Delivered)
-			}
-			ratio += res.Metrics.DeliveryRatio()
+			sm := samples[ni*seeds+s]
+			optFrac += sm.optFrac
+			ctrl += sm.ctrl
+			perDel += sm.perDel
+			ratio += sm.ratio
 		}
 		f := float64(seeds)
 		tbl.AddRow(n, fmt.Sprintf("%.1f%%", 100*optFrac/f), ctrl/f, perDel/f, ratio/f)

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"wmsn/internal/runner"
+	"wmsn/internal/scenario"
 	"wmsn/internal/trace"
 )
 
@@ -18,6 +20,12 @@ type Opts struct {
 	// Seeds is the number of independent repetitions averaged; 0 picks a
 	// per-experiment default.
 	Seeds int
+	// Workers bounds the fan-out of independent runs (seed × sweep point)
+	// across CPUs: 0 selects one worker per CPU (the default for full-scale
+	// runs), 1 forces strictly sequential execution. Output is identical
+	// either way — results are merged by submission index, not completion
+	// order.
+	Workers int
 }
 
 func (o Opts) seeds(def int) int {
@@ -36,6 +44,18 @@ func pick[T any](o Opts, full, quick T) T {
 		return quick
 	}
 	return full
+}
+
+// forEach fans the experiment's n independent jobs out on the worker pool
+// and returns the results in submission order. Every job must derive all of
+// its randomness from its index (its own seed/world); nothing may be shared.
+func forEach[T any](o Opts, n int, job func(i int) T) []T {
+	return runner.Map(o.Workers, n, job)
+}
+
+// runConfigs executes scenario configs on the worker pool, in cfgs order.
+func runConfigs(o Opts, cfgs []scenario.Config) []scenario.Result {
+	return scenario.RunMany(o.Workers, cfgs)
 }
 
 // Experiment is one entry of the suite.

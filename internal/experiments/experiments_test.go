@@ -6,6 +6,7 @@ import (
 
 	"wmsn/internal/network"
 	"wmsn/internal/packet"
+	"wmsn/internal/trace"
 )
 
 func quickOpts() Opts { return Opts{Quick: true, Seeds: 1} }
@@ -108,6 +109,41 @@ func TestE9MatrixHasAllCells(t *testing.T) {
 	}
 	if got := strings.Count(out, "secmlr"); got != 8 {
 		t.Errorf("matrix has %d secmlr rows, want 8:\n%s", got, out)
+	}
+}
+
+// Parallel execution must be invisible in the output: running the same
+// experiment with 1 worker and with 8 workers has to render byte-identical
+// tables, because results are merged by submission index. E1 covers the
+// placement-evaluation fan-out, E9 the full attack-matrix of scenario runs.
+// This test doubles as the runner's race-coverage entry point under
+// `go test -race` (the Makefile `race` target).
+func TestParallelOutputByteIdentical(t *testing.T) {
+	render := func(tables []*trace.Table) string {
+		var sb strings.Builder
+		for _, tbl := range tables {
+			sb.WriteString(tbl.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	for _, id := range []string{"E1", "E9"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var exp Experiment
+			for _, e := range All() {
+				if e.ID == id {
+					exp = e
+				}
+			}
+			seq := render(exp.Run(Opts{Quick: true, Seeds: 1, Workers: 1}))
+			par := render(exp.Run(Opts{Quick: true, Seeds: 1, Workers: 8}))
+			if seq != par {
+				t.Fatalf("%s output differs between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					id, seq, par)
+			}
+		})
 	}
 }
 

@@ -25,8 +25,11 @@ func PowerControlK(pos map[packet.NodeID]geom.Point, k int, maxRange float64) ma
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// One scratch buffer reused across the per-node loop: the distance list
+	// has the same capacity requirement (n-1) for every node.
+	dists := make([]float64, 0, len(ids))
 	for _, id := range ids {
-		var dists []float64
+		dists = dists[:0]
 		for _, other := range ids {
 			if other == id {
 				continue

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"fmt"
 	"testing"
 
 	"wmsn/internal/energy"
@@ -282,5 +283,52 @@ func TestGAFEnergySavings(t *testing.T) {
 	withGAF := run(true)
 	if withGAF >= on*0.6 {
 		t.Fatalf("GAF rx energy %g not well below always-on %g", withGAF, on)
+	}
+}
+
+// powerControlField builds a deterministic jittered field of n nodes for the
+// PowerControlK benchmarks — no RNG so runs are comparable.
+func powerControlField(n int) map[packet.NodeID]geom.Point {
+	pos := make(map[packet.NodeID]geom.Point, n)
+	for i := 0; i < n; i++ {
+		jx := float64((i*7919)%13) / 13
+		jy := float64((i*104729)%17) / 17
+		pos[packet.NodeID(i+1)] = geom.Point{
+			X: float64(i%20)*10 + jx,
+			Y: float64(i/20)*10 + jy,
+		}
+	}
+	return pos
+}
+
+// PowerControlK must allocate a constant number of objects regardless of
+// field size: one output map, one sorted id slice and one reusable distance
+// scratch buffer. The original implementation rebuilt the distance slice per
+// node (O(n) allocations, with append-growth churn on top).
+func TestPowerControlKAllocsConstant(t *testing.T) {
+	measure := func(n int) float64 {
+		pos := powerControlField(n)
+		return testing.AllocsPerRun(10, func() { PowerControlK(pos, 6, 60) })
+	}
+	small, large := measure(40), measure(200)
+	// Allow a little slack for map bucket sizing, but 5x the nodes must not
+	// mean 5x the allocations.
+	if large > small+8 {
+		t.Fatalf("allocations grow with field size: n=40 -> %.0f, n=200 -> %.0f", small, large)
+	}
+	if large > 24 {
+		t.Fatalf("PowerControlK allocates %.0f objects for n=200; scratch buffer not reused", large)
+	}
+}
+
+func BenchmarkPowerControlK(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		pos := powerControlField(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				PowerControlK(pos, 6, 60)
+			}
+		})
 	}
 }

@@ -137,6 +137,14 @@ type Medium struct {
 	cellSize float64
 	stats    Stats
 	active   []activeTx // in-flight transmissions (CSMA only)
+
+	// Hot-path scratch: delivery structs are pooled on a free list and
+	// scheduled through the kernel's zero-alloc arg path via deliverFn
+	// (bound once here, so no per-delivery closure exists); rxScratch is
+	// the reusable receiver buffer for transmitNow.
+	freeDel   []*delivery
+	deliverFn func(any)
+	rxScratch []*Station
 }
 
 // New creates a medium driven by kernel k.
@@ -151,13 +159,35 @@ func New(k *sim.Kernel, cfg Config) *Medium {
 	if cell <= 0 {
 		cell = 50
 	}
-	return &Medium{
+	m := &Medium{
 		k:        k,
 		cfg:      cfg,
 		stations: make(map[packet.NodeID]*Station),
 		cells:    make(map[cellKey]map[packet.NodeID]*Station),
 		cellSize: cell,
 	}
+	m.deliverFn = func(arg any) { m.deliver(arg.(*delivery)) }
+	return m
+}
+
+func (m *Medium) getDelivery() *delivery {
+	if n := len(m.freeDel); n > 0 {
+		d := m.freeDel[n-1]
+		m.freeDel[n-1] = nil
+		m.freeDel = m.freeDel[:n-1]
+		return d
+	}
+	return &delivery{}
+}
+
+// putDelivery recycles a delivery once its own deliver event has run and it
+// is out of every pending list. Deliveries dropped from a pending list by a
+// sibling's compaction stay live until their own event fires.
+func (m *Medium) putDelivery(d *delivery) {
+	d.to = nil
+	d.pkt = nil
+	d.corrupted = false
+	m.freeDel = append(m.freeDel, d)
 }
 
 // Stats returns a snapshot of medium counters.
@@ -226,14 +256,20 @@ func (m *Medium) reindex(s *Station, p geom.Point) {
 // InRange returns the stations within sender's range, excluding the sender
 // itself, in deterministic (ID-sorted) order.
 func (m *Medium) InRange(sender *Station) []*Station {
+	return m.inRangeInto(sender, nil)
+}
+
+// inRangeInto appends the in-range stations to out (the hot path passes a
+// reusable scratch buffer; InRange passes nil for a fresh slice).
+func (m *Medium) inRangeInto(sender *Station, out []*Station) []*Station {
 	if sender == nil || sender.rangeM <= 0 {
-		return nil
+		return out
 	}
 	r := sender.rangeM
 	r2 := r * r
 	c0 := m.keyFor(geom.Point{X: sender.pos.X - r, Y: sender.pos.Y - r})
 	c1 := m.keyFor(geom.Point{X: sender.pos.X + r, Y: sender.pos.Y + r})
-	var out []*Station
+	base := len(out)
 	for cx := c0.cx; cx <= c1.cx; cx++ {
 		for cy := c0.cy; cy <= c1.cy; cy++ {
 			for _, s := range m.cells[cellKey{cx, cy}] {
@@ -246,7 +282,7 @@ func (m *Medium) InRange(sender *Station) []*Station {
 			}
 		}
 	}
-	sortStations(out)
+	sortStations(out[base:])
 	return out
 }
 
@@ -346,7 +382,8 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 	if m.cfg.CSMA {
 		m.active = append(m.active, activeTx{pos: from.pos, rangeM: from.rangeM, end: start + airtime})
 	}
-	for _, st := range m.InRange(from) {
+	m.rxScratch = m.inRangeInto(from, m.rxScratch[:0])
+	for _, st := range m.rxScratch {
 		if !st.listening {
 			continue
 		}
@@ -354,7 +391,8 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 			m.stats.Lost++
 			continue
 		}
-		d := &delivery{to: st, pkt: pkt.Clone(), start: start, end: end}
+		d := m.getDelivery()
+		d.to, d.pkt, d.start, d.end = st, pkt.Clone(), start, end
 		if m.cfg.Collisions {
 			// Any reception overlapping an in-flight one corrupts both.
 			for _, prev := range st.pending {
@@ -371,14 +409,16 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 			}
 			st.pending = append(st.pending, d)
 		}
-		m.k.ScheduleAt(end, func() { m.deliver(d) })
+		m.k.ScheduleArgAt(end, m.deliverFn, d)
 	}
 }
 
 func (m *Medium) deliver(d *delivery) {
 	st := d.to
 	if m.cfg.Collisions {
-		// Drop completed receptions from the pending set.
+		// Drop completed receptions from the pending set. This always drops
+		// d itself (d.end == now), so d is unreferenced after this call and
+		// safe to recycle below.
 		now := m.k.Now()
 		kept := st.pending[:0]
 		for _, p := range st.pending {
@@ -388,12 +428,14 @@ func (m *Medium) deliver(d *delivery) {
 		}
 		st.pending = kept
 	}
-	if d.corrupted {
+	corrupted, pkt := d.corrupted, d.pkt
+	m.putDelivery(d)
+	if corrupted {
 		return
 	}
 	if st.handler == nil || !st.listening {
 		return
 	}
 	m.stats.Deliveries++
-	st.handler(d.pkt)
+	st.handler(pkt)
 }

@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersBySubmissionIndex(t *testing.T) {
+	// Jobs finish in reverse order (early indices sleep longest); the
+	// result must still come back in index order.
+	n := 32
+	out := Map(8, n, func(i int) int {
+		time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
+		return i * i
+	})
+	if len(out) != n {
+		t.Fatalf("Map returned %d results, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	job := func(i int) []int64 {
+		// Per-job RNG seeded by index, as real experiment jobs do.
+		rng := rand.New(rand.NewSource(int64(i)))
+		vals := make([]int64, 16)
+		for j := range vals {
+			vals[j] = rng.Int63()
+		}
+		return vals
+	}
+	seq := Map(1, 20, job)
+	par := Map(8, 20, job)
+	for i := range seq {
+		for j := range seq[i] {
+			if seq[i][j] != par[i][j] {
+				t.Fatalf("job %d diverges at value %d: %d vs %d", i, j, seq[i][j], par[i][j])
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	// Even on one CPU goroutines interleave at the sleep below, so the
+	// bound stays observable on every machine.
+	const workers = 3
+	var cur, peak atomic.Int64
+	Map(workers, 24, func(i int) int {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return i
+	})
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", got, workers)
+	}
+}
+
+func TestMapEveryJobRunsExactlyOnce(t *testing.T) {
+	var counts [100]atomic.Int32
+	Map(7, len(counts), func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Fatalf("Map with n=0 returned %v, want nil", out)
+	}
+	if out := Map(0, 3, func(i int) int { return i }); len(out) != 3 {
+		t.Fatalf("Map with workers=0 (default) returned %d results, want 3", len(out))
+	}
+	if out := Map(-1, 1, func(i int) int { return 7 }); out[0] != 7 {
+		t.Fatalf("Map n=1 = %v", out)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != DefaultWorkers() {
+		t.Fatalf("Resolve(0) = %d, want %d", got, DefaultWorkers())
+	}
+	if got := Resolve(-3); got != DefaultWorkers() {
+		t.Fatalf("Resolve(-3) = %d, want %d", got, DefaultWorkers())
+	}
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d, want 5", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"wmsn/internal/packet"
 	"wmsn/internal/placement"
 	"wmsn/internal/radio"
+	"wmsn/internal/runner"
 	"wmsn/internal/sensing"
 	"wmsn/internal/sim"
 )
@@ -469,6 +470,16 @@ type Result struct {
 func Run(cfg Config) Result {
 	n := Build(cfg)
 	return n.RunTraffic()
+}
+
+// RunMany executes every config on a bounded worker pool and returns the
+// results in cfgs order. Each run owns its kernel, RNG and world, and
+// results are merged by submission index, so the output is bit-identical to
+// calling Run in a loop regardless of workers (workers<=0 selects one per
+// CPU, 1 forces sequential execution). Configs with Mutate/StackWrapper
+// hooks are safe as long as the hooks touch only their own run's state.
+func RunMany(workers int, cfgs []Config) []Result {
+	return runner.Map(workers, len(cfgs), func(i int) Result { return Run(cfgs[i]) })
 }
 
 // RunTraffic starts traffic on an already-built network and runs to the

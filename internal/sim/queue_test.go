@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// --- Timer.Stop vs heap positions -------------------------------------------
+
+// collectFires schedules one marker event per instant and returns the fire
+// order observed by RunAll.
+func collectFires(k *Kernel, ats []Time) (timers []*Timer, fired *[]Time) {
+	out := &[]Time{}
+	for _, at := range ats {
+		at := at
+		timers = append(timers, k.ScheduleAt(at, func() { *out = append(*out, at) }))
+	}
+	return timers, out
+}
+
+func TestTimerStopHead(t *testing.T) {
+	k := NewKernel(1)
+	timers, fired := collectFires(k, []Time{10, 20, 30, 40, 50})
+	if !timers[0].Stop() {
+		t.Fatal("stopping the head event returned false")
+	}
+	k.RunAll()
+	want := []Time{20, 30, 40, 50}
+	assertTimes(t, *fired, want)
+}
+
+func TestTimerStopMiddle(t *testing.T) {
+	k := NewKernel(1)
+	timers, fired := collectFires(k, []Time{10, 20, 30, 40, 50})
+	if !timers[2].Stop() {
+		t.Fatal("stopping a middle event returned false")
+	}
+	k.RunAll()
+	assertTimes(t, *fired, []Time{10, 20, 40, 50})
+}
+
+func TestTimerStopLast(t *testing.T) {
+	k := NewKernel(1)
+	timers, fired := collectFires(k, []Time{10, 20, 30, 40, 50})
+	if !timers[4].Stop() {
+		t.Fatal("stopping the last event returned false")
+	}
+	k.RunAll()
+	assertTimes(t, *fired, []Time{10, 20, 30, 40})
+}
+
+func TestTimerStopAlreadyFired(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	tm := k.After(10, func() { count++ })
+	k.RunAll()
+	if tm.Pending() {
+		t.Fatal("timer pending after firing")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on a fired timer returned true")
+	}
+	if count != 1 {
+		t.Fatalf("event fired %d times, want 1", count)
+	}
+}
+
+// A stale Timer whose event struct has been recycled for a new schedule must
+// not cancel (or report pending for) the new incarnation — the generation
+// counter guards exactly this.
+func TestStaleTimerDoesNotCancelRecycledEvent(t *testing.T) {
+	k := NewKernel(1)
+	stale := k.After(5, func() {})
+	k.RunAll() // fires; the event struct returns to the free list
+
+	fired := false
+	k.After(10, func() { fired = true }) // recycles the same struct
+	if stale.Pending() {
+		t.Fatal("stale timer reports pending after its event was recycled")
+	}
+	if stale.Stop() {
+		t.Fatal("stale timer cancelled a recycled event")
+	}
+	k.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestStoppedTimerEventIsRecycledSafely(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.After(10, func() { t.Fatal("cancelled event fired") })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on a pending timer")
+	}
+	// The cancelled event's struct is now free; reuse it and make sure the
+	// old handle stays dead.
+	fired := false
+	k.After(20, func() { fired = true })
+	if tm.Stop() || tm.Pending() {
+		t.Fatal("stopped timer came back to life after recycling")
+	}
+	k.RunAll()
+	if !fired {
+		t.Fatal("new event did not fire")
+	}
+}
+
+// Property: cancelling an arbitrary subset of an arbitrary schedule fires
+// exactly the survivors, in time order.
+func TestQuickStopArbitrarySubset(t *testing.T) {
+	f := func(raw []uint16, mask []bool) bool {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		k := NewKernel(3)
+		var fired []Time
+		var want []Time
+		var timers []*Timer
+		for _, r := range raw {
+			at := Time(r)
+			timers = append(timers, k.ScheduleAt(at, func() { fired = append(fired, at) }))
+		}
+		for i, tm := range timers {
+			if i < len(mask) && mask[i] {
+				if !tm.Stop() {
+					return false
+				}
+			} else {
+				want = append(want, Time(raw[i]))
+			}
+		}
+		k.RunAll()
+		if len(fired) != len(want) {
+			return false
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertTimes(t *testing.T, got, want []Time) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// --- allocation pinning ------------------------------------------------------
+
+// The arg-carrying hot path must not allocate at steady state: the event
+// struct comes from the free list, no Timer handle and no closure exist.
+func TestScheduleArgAtZeroAllocs(t *testing.T) {
+	k := NewKernel(1)
+	fn := func(any) {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		k.ScheduleArgAt(k.Now(), fn, nil)
+	}
+	k.RunAll()
+	avg := testing.AllocsPerRun(200, func() {
+		k.ScheduleArgAt(k.Now()+1, fn, nil)
+		k.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("ScheduleArgAt+Step allocates %.2f per event, want 0", avg)
+	}
+}
+
+// The Timer-returning path may allocate the handle but nothing else once the
+// pool is warm.
+func TestScheduleAtAllocsBounded(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		k.ScheduleArgAt(k.Now(), func(any) {}, nil)
+	}
+	k.RunAll()
+	avg := testing.AllocsPerRun(200, func() {
+		k.ScheduleAt(k.Now()+1, fn)
+		k.Step()
+	})
+	if avg > 1 {
+		t.Fatalf("ScheduleAt+Step allocates %.2f per event, want <=1 (the Timer handle)", avg)
+	}
+}
+
+// --- benchmarks --------------------------------------------------------------
+
+// BenchmarkKernelSchedule measures the schedule+fire cycle in isolation on a
+// standing queue of 1024 events, for both the Timer path and the arg path.
+func BenchmarkKernelSchedule(b *testing.B) {
+	b.Run("arg", func(b *testing.B) {
+		k := NewKernel(1)
+		fn := func(any) {}
+		for i := 0; i < 1024; i++ {
+			k.ScheduleArgAt(Time(i), fn, nil)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.ScheduleArgAt(k.Now()+1024, fn, nil)
+			k.Step()
+		}
+	})
+	b.Run("timer", func(b *testing.B) {
+		k := NewKernel(1)
+		fn := func() {}
+		for i := 0; i < 1024; i++ {
+			k.ScheduleAt(Time(i), fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.ScheduleAt(k.Now()+1024, fn)
+			k.Step()
+		}
+	})
+}
+
+// BenchmarkKernelChurn measures a randomized schedule/run mix closer to a
+// real simulation's event pattern.
+func BenchmarkKernelChurn(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		fn := func(any) {}
+		for j := 0; j < 1000; j++ {
+			k.ScheduleArgAt(Time(rng.Int63n(1_000_000)), fn, nil)
+		}
+		k.RunAll()
+	}
+}

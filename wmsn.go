@@ -125,6 +125,13 @@ var NewTEENFilter = sensing.NewTEEN
 // the horizon, and returns the aggregated result.
 func Run(cfg Config) Result { return scenario.Run(cfg) }
 
+// RunMany runs independent scenarios on a bounded worker pool and returns
+// their results in input order. workers <= 0 uses one worker per CPU;
+// workers == 1 runs sequentially. Results are bit-identical regardless of
+// worker count: every run owns its kernel and RNG, and results are merged by
+// submission index.
+func RunMany(workers int, cfgs []Config) []Result { return scenario.RunMany(workers, cfgs) }
+
 // Build constructs the network for cfg without starting traffic, for callers
 // that want to inject failures, attackers or custom workloads first.
 func Build(cfg Config) *Net { return scenario.Build(cfg) }
