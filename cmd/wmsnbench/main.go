@@ -3,10 +3,13 @@
 // tables. Run with -quick for a fast smoke pass, or -only E4,E5 to select
 // specific experiments. Independent runs within each experiment execute on
 // a worker pool (-workers, default one per CPU); the output is byte-identical
-// to a sequential run.
+// to a sequential run. With -metrics-json the structured tables plus each
+// experiment's aggregated end-to-end metrics snapshot are also written to a
+// file, leaving stdout untouched.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,7 +17,26 @@ import (
 	"time"
 
 	"wmsn/internal/experiments"
+	"wmsn/internal/metrics"
+	"wmsn/internal/trace"
 )
+
+// experimentExport is one experiment's entry in the -metrics-json file.
+type experimentExport struct {
+	Title  string            `json:"title"`
+	Tables []trace.TableData `json:"tables"`
+	// Metrics aggregates every scenario the experiment executed through the
+	// shared harness path; experiments that drive runs through custom
+	// sweep code report zero runs here.
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+type export struct {
+	Quick       bool                        `json:"quick"`
+	Seeds       int                         `json:"seeds,omitempty"`
+	Workers     int                         `json:"workers,omitempty"`
+	Experiments map[string]experimentExport `json:"experiments"`
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced-scale variant of each experiment")
@@ -23,6 +45,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	workers := flag.Int("workers", 0, "parallel runs per experiment (0 = one per CPU, 1 = sequential); output is identical either way")
+	metricsJSON := flag.String("metrics-json", "", "write structured tables and per-experiment aggregated metrics to this file")
 	flag.Parse()
 
 	suite := experiments.All()
@@ -39,15 +62,23 @@ func main() {
 		}
 	}
 	opts := experiments.Opts{Quick: *quick, Seeds: *seeds, Workers: *workers}
+	exp := export{Quick: *quick, Seeds: *seeds, Workers: *workers,
+		Experiments: map[string]experimentExport{}}
 	ran := 0
 	for _, e := range suite {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
 		ran++
+		var agg *metrics.Aggregate
+		if *metricsJSON != "" {
+			agg = metrics.NewAggregate()
+			opts.Metrics = agg
+		}
 		start := time.Now()
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		for _, tbl := range e.Run(opts) {
+		tables := e.Run(opts)
+		for _, tbl := range tables {
 			if *csvOut {
 				if err := tbl.RenderCSV(os.Stdout); err != nil {
 					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
@@ -59,9 +90,27 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if agg != nil {
+			ee := experimentExport{Title: e.Title, Metrics: agg.Snapshot()}
+			for _, tbl := range tables {
+				ee.Tables = append(ee.Tables, tbl.Data())
+			}
+			exp.Experiments[e.ID] = ee
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
 		os.Exit(1)
+	}
+	if *metricsJSON != "" {
+		buf, err := json.MarshalIndent(exp, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsJSON, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -12,7 +12,7 @@ package baseline
 import (
 	"encoding/binary"
 
-	"wmsn/internal/core"
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 )
@@ -20,14 +20,14 @@ import (
 // Sink is the single base station of the flat architecture: it absorbs DATA
 // packets and answers nothing. It works with every baseline in this package.
 type Sink struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	Uplink  func(origin packet.NodeID, seq uint32, payload []byte)
 
 	dev *node.Device
 }
 
 // NewSink creates a sink stack.
-func NewSink(m *core.Metrics) *Sink { return &Sink{Metrics: m} }
+func NewSink(m metrics.Sink) *Sink { return &Sink{Metrics: m} }
 
 // Start implements node.Stack.
 func (s *Sink) Start(dev *node.Device) { s.dev = dev }
@@ -52,17 +52,17 @@ func (s *Sink) HandleMessage(pkt *packet.Packet) {
 // Flooding relays every data packet to every neighbor (§2.2.1): simple,
 // robust, and catastrophically redundant (the "implosion" problem).
 type Flooding struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	TTL     uint8
 
 	dev  *node.Device
-	seen map[uint64]struct{}
+	seen *packet.Dedupe
 	seq  uint32
 }
 
 // NewFlooding creates a flooding stack.
-func NewFlooding(m *core.Metrics, ttl uint8) *Flooding {
-	return &Flooding{Metrics: m, TTL: ttl, seen: make(map[uint64]struct{})}
+func NewFlooding(m metrics.Sink, ttl uint8) *Flooding {
+	return &Flooding{Metrics: m, TTL: ttl, seen: packet.NewDedupe(0)}
 }
 
 func floodKey64(origin packet.NodeID, seq uint32) uint64 {
@@ -78,7 +78,7 @@ func (f *Flooding) OriginateData(payload []byte) {
 		return
 	}
 	f.seq++
-	f.seen[floodKey64(f.dev.ID(), f.seq)] = struct{}{}
+	f.seen.Check(f.dev.ID(), f.seq) // never re-forward our own flood
 	pkt := &packet.Packet{
 		Kind:    packet.KindData,
 		From:    f.dev.ID(),
@@ -91,7 +91,7 @@ func (f *Flooding) OriginateData(payload []byte) {
 	}
 	f.Metrics.RecordGenerated(f.dev.ID(), f.seq, f.dev.Now())
 	if f.dev.Send(pkt) {
-		f.Metrics.DataSent++
+		f.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -103,34 +103,32 @@ func (f *Flooding) HandleMessage(pkt *packet.Packet) {
 	if pkt.Kind != packet.KindData || pkt.TTL <= 1 {
 		return
 	}
-	k := floodKey64(pkt.Origin, pkt.Seq)
-	if _, dup := f.seen[k]; dup {
+	if f.seen.Check(pkt.Origin, pkt.Seq) {
 		return
 	}
-	f.seen[k] = struct{}{}
 	fwd := pkt.Clone()
 	fwd.From = f.dev.ID()
 	fwd.TTL--
 	fwd.Hops++
 	if f.dev.Send(fwd) {
-		f.Metrics.DataSent++
+		f.Metrics.Inc(metrics.DataSent)
 	}
 }
 
 // Gossiping forwards each data packet to one randomly chosen neighbor
 // (§2.2.1): it avoids implosion but propagates slowly and unreliably.
 type Gossiping struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	TTL     uint8
 
 	dev  *node.Device
-	seen map[uint64]struct{}
+	seen *packet.Dedupe
 	seq  uint32
 }
 
 // NewGossiping creates a gossiping stack.
-func NewGossiping(m *core.Metrics, ttl uint8) *Gossiping {
-	return &Gossiping{Metrics: m, TTL: ttl, seen: make(map[uint64]struct{})}
+func NewGossiping(m metrics.Sink, ttl uint8) *Gossiping {
+	return &Gossiping{Metrics: m, TTL: ttl, seen: packet.NewDedupe(0)}
 }
 
 // Start implements node.Stack.
@@ -142,7 +140,7 @@ func (g *Gossiping) OriginateData(payload []byte) {
 		return
 	}
 	g.seq++
-	g.seen[floodKey64(g.dev.ID(), g.seq)] = struct{}{}
+	g.seen.Check(g.dev.ID(), g.seq) // never re-forward our own flood
 	pkt := &packet.Packet{
 		Kind:    packet.KindData,
 		From:    g.dev.ID(),
@@ -167,7 +165,7 @@ func (g *Gossiping) relay(pkt *packet.Packet) {
 	fwd.From = g.dev.ID()
 	fwd.To = next
 	if g.dev.Send(fwd) {
-		g.Metrics.DataSent++
+		g.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -179,11 +177,9 @@ func (g *Gossiping) HandleMessage(pkt *packet.Packet) {
 	if pkt.Kind != packet.KindData || pkt.TTL <= 1 {
 		return
 	}
-	k := floodKey64(pkt.Origin, pkt.Seq)
-	if _, dup := g.seen[k]; dup {
+	if g.seen.Check(pkt.Origin, pkt.Seq) {
 		return
 	}
-	g.seen[k] = struct{}{}
 	fwd := pkt.Clone()
 	fwd.TTL--
 	fwd.Hops++
@@ -194,7 +190,7 @@ func (g *Gossiping) HandleMessage(pkt *packet.Packet) {
 // the degenerate baseline whose edge nodes die first under the first-order
 // energy model.
 type Direct struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	// SinkID and SinkDist are the flat sink's identity and this node's
 	// distance to it, loaded at deployment time.
 	SinkID   packet.NodeID
@@ -205,7 +201,7 @@ type Direct struct {
 }
 
 // NewDirect creates a direct-transmission stack.
-func NewDirect(m *core.Metrics, sink packet.NodeID, dist float64) *Direct {
+func NewDirect(m metrics.Sink, sink packet.NodeID, dist float64) *Direct {
 	return &Direct{Metrics: m, SinkID: sink, SinkDist: dist}
 }
 
@@ -230,7 +226,7 @@ func (d *Direct) OriginateData(payload []byte) {
 	}
 	d.Metrics.RecordGenerated(d.dev.ID(), d.seq, d.dev.Now())
 	if d.dev.SendRange(pkt, d.SinkDist*1.01) {
-		d.Metrics.DataSent++
+		d.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -243,18 +239,18 @@ func (d *Direct) HandleMessage(*packet.Packet) {}
 // decreasing-cost gradient. Nodes need no IDs and no routing tables beyond
 // one integer.
 type MCFA struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	TTL     uint8
 
 	dev  *node.Device
 	cost int
-	seen map[uint64]struct{}
+	seen *packet.Dedupe
 	seq  uint32
 }
 
 // NewMCFA creates an MCFA sensor stack.
-func NewMCFA(m *core.Metrics, ttl uint8) *MCFA {
-	return &MCFA{Metrics: m, TTL: ttl, cost: -1, seen: make(map[uint64]struct{})}
+func NewMCFA(m metrics.Sink, ttl uint8) *MCFA {
+	return &MCFA{Metrics: m, TTL: ttl, cost: -1, seen: packet.NewDedupe(0)}
 }
 
 // Start implements node.Stack.
@@ -283,7 +279,7 @@ func (m *MCFA) OriginateData(payload []byte) {
 	m.seq++
 	m.Metrics.RecordGenerated(m.dev.ID(), m.seq, m.dev.Now())
 	if m.cost < 0 {
-		m.Metrics.DroppedNoRoute++
+		m.Metrics.Inc(metrics.DroppedNoRoute)
 		return // beacon never reached us
 	}
 	body := append(mcfaCostPayload(m.cost), payload...)
@@ -298,7 +294,7 @@ func (m *MCFA) OriginateData(payload []byte) {
 		Payload: body,
 	}
 	if m.dev.Send(pkt) {
-		m.Metrics.DataSent++
+		m.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -320,7 +316,7 @@ func (m *MCFA) HandleMessage(pkt *packet.Packet) {
 			adv.Payload = mcfaCostPayload(m.cost)
 			adv.Hops++
 			if m.dev.Send(adv) {
-				m.Metrics.RReqSent++ // beacon traffic counted as control
+				m.Metrics.Inc(metrics.RReqSent) // beacon traffic counted as control
 			}
 		}
 	case packet.KindData:
@@ -331,18 +327,16 @@ func (m *MCFA) HandleMessage(pkt *packet.Packet) {
 		if !ok || m.cost >= senderCost {
 			return // not on a decreasing-cost gradient
 		}
-		k := floodKey64(pkt.Origin, pkt.Seq)
-		if _, dup := m.seen[k]; dup {
+		if m.seen.Check(pkt.Origin, pkt.Seq) {
 			return
 		}
-		m.seen[k] = struct{}{}
 		fwd := pkt.Clone()
 		fwd.From = m.dev.ID()
 		fwd.TTL--
 		fwd.Hops++
 		fwd.Payload = append(mcfaCostPayload(m.cost), pkt.Payload[4:]...)
 		if m.dev.Send(fwd) {
-			m.Metrics.DataSent++
+			m.Metrics.Inc(metrics.DataSent)
 		}
 	}
 }
@@ -350,14 +344,14 @@ func (m *MCFA) HandleMessage(pkt *packet.Packet) {
 // MCFASink is the sink for MCFA: it seeds the cost field with cost 0 and
 // absorbs data.
 type MCFASink struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	TTL     uint8
 
 	dev *node.Device
 }
 
 // NewMCFASink creates the MCFA sink stack.
-func NewMCFASink(m *core.Metrics, ttl uint8) *MCFASink {
+func NewMCFASink(m metrics.Sink, ttl uint8) *MCFASink {
 	return &MCFASink{Metrics: m, TTL: ttl}
 }
 

@@ -3,7 +3,7 @@ package baseline
 import (
 	"encoding/binary"
 
-	"wmsn/internal/core"
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 )
@@ -39,12 +39,12 @@ type diffInterest struct {
 
 // Diffusion is the per-sensor stack.
 type Diffusion struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	TTL     uint8
 
 	dev       *node.Device
 	interests map[InterestID]*diffInterest
-	seen      map[uint64]struct{} // interest flood + exploratory dedup
+	seen      *packet.Dedupe // interest flood + exploratory dedup
 	seq       uint32
 
 	// Exploratory / Reinforced count this node's data transmissions in
@@ -53,10 +53,10 @@ type Diffusion struct {
 }
 
 // NewDiffusion creates a sensor stack.
-func NewDiffusion(m *core.Metrics, ttl uint8) *Diffusion {
+func NewDiffusion(m metrics.Sink, ttl uint8) *Diffusion {
 	return &Diffusion{Metrics: m, TTL: ttl,
 		interests: make(map[InterestID]*diffInterest),
-		seen:      make(map[uint64]struct{})}
+		seen:      packet.NewDedupe(0)}
 }
 
 // Start implements node.Stack.
@@ -104,7 +104,7 @@ func (d *Diffusion) OriginateData(payload []byte) {
 	d.seq++
 	d.Metrics.RecordGenerated(d.dev.ID(), d.seq, d.dev.Now())
 	if !found {
-		d.Metrics.DroppedNoRoute++ // no interest has reached us
+		d.Metrics.Inc(metrics.DroppedNoRoute) // no interest has reached us
 		return
 	}
 	st := d.interests[in]
@@ -136,7 +136,7 @@ func (d *Diffusion) sendData(marker byte, in InterestID, origin packet.NodeID, s
 		Payload: body,
 	}
 	if d.dev.Send(pkt) {
-		d.Metrics.DataSent++
+		d.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -170,17 +170,15 @@ func (d *Diffusion) handleInterest(pkt *packet.Packet) {
 		st.gradients = append(st.gradients, pkt.From)
 	}
 	// Re-flood once per (sink, seq).
-	k := floodKey64(pkt.Origin, pkt.Seq)
-	if _, dup := d.seen[k]; dup || pkt.TTL <= 1 {
+	if pkt.TTL <= 1 || d.seen.Check(pkt.Origin, pkt.Seq) {
 		return
 	}
-	d.seen[k] = struct{}{}
 	fwd := pkt.Clone()
 	fwd.From = d.dev.ID()
 	fwd.TTL--
 	fwd.Hops++
 	if d.dev.Send(fwd) {
-		d.Metrics.RReqSent++
+		d.Metrics.Inc(metrics.RReqSent)
 	}
 }
 
@@ -195,11 +193,9 @@ func (d *Diffusion) handleData(pkt *packet.Packet) {
 	switch marker {
 	case diffExploreMarker:
 		// Duplicate suppression is the in-network aggregation.
-		k := floodKey64(origin, pkt.Seq)
-		if _, dup := d.seen[k]; dup {
+		if d.seen.Check(origin, pkt.Seq) {
 			return
 		}
-		d.seen[k] = struct{}{}
 		if st.upstream == packet.None {
 			st.upstream = pkt.From // first-delivery upstream, for reinforcement
 		}
@@ -217,7 +213,7 @@ func (d *Diffusion) handleData(pkt *packet.Packet) {
 			fwd.TTL--
 			fwd.Hops++
 			if d.dev.Send(fwd) {
-				d.Metrics.DataSent++
+				d.Metrics.Inc(metrics.DataSent)
 				d.Exploratory++
 			}
 		}
@@ -232,7 +228,7 @@ func (d *Diffusion) handleData(pkt *packet.Packet) {
 		fwd.TTL--
 		fwd.Hops++
 		if d.dev.Send(fwd) {
-			d.Metrics.DataSent++
+			d.Metrics.Inc(metrics.DataSent)
 			d.Reinforced++
 		}
 	}
@@ -257,14 +253,14 @@ func (d *Diffusion) handleReinforce(pkt *packet.Packet) {
 	fwd.Target = st.upstream
 	fwd.Hops++
 	if d.dev.Send(fwd) {
-		d.Metrics.AckSent++
+		d.Metrics.Inc(metrics.AckSent)
 	}
 }
 
 // DiffusionSink floods interests and absorbs matching data, reinforcing the
 // first-delivering neighbor per interest.
 type DiffusionSink struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	TTL     uint8
 
 	dev        *node.Device
@@ -273,7 +269,7 @@ type DiffusionSink struct {
 }
 
 // NewDiffusionSink creates the sink stack.
-func NewDiffusionSink(m *core.Metrics, ttl uint8) *DiffusionSink {
+func NewDiffusionSink(m metrics.Sink, ttl uint8) *DiffusionSink {
 	return &DiffusionSink{Metrics: m, TTL: ttl, reinforced: make(map[InterestID]bool)}
 }
 
@@ -300,7 +296,7 @@ func (s *DiffusionSink) Subscribe(in InterestID) {
 		Payload: body,
 	}
 	if s.dev.Send(pkt) {
-		s.Metrics.RReqSent++
+		s.Metrics.Inc(metrics.RReqSent)
 	}
 }
 
@@ -333,7 +329,7 @@ func (s *DiffusionSink) HandleMessage(pkt *packet.Packet) {
 			Payload: body,
 		}
 		if s.dev.Send(r) {
-			s.Metrics.AckSent++
+			s.Metrics.Inc(metrics.AckSent)
 		}
 	}
 }

@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"math"
 
-	"wmsn/internal/core"
 	"wmsn/internal/geom"
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
@@ -26,7 +26,7 @@ const (
 
 // LEACH is the per-sensor stack.
 type LEACH struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	// P is the desired cluster-head fraction per round (classically 0.05).
 	P float64
 	// SinkID/SinkPos locate the flat sink every head transmits to.
@@ -54,7 +54,7 @@ type aggEntry struct {
 }
 
 // NewLEACH creates a LEACH sensor stack.
-func NewLEACH(m *core.Metrics, p float64, sink packet.NodeID, sinkPos geom.Point, clusterRange float64) *LEACH {
+func NewLEACH(m metrics.Sink, p float64, sink packet.NodeID, sinkPos geom.Point, clusterRange float64) *LEACH {
 	if p <= 0 || p >= 1 {
 		p = 0.05
 	}
@@ -119,7 +119,7 @@ func (l *LEACH) beginRound(round int) {
 		Payload: payload,
 	}
 	if l.dev.SendRange(adv, l.ClusterRange) {
-		l.Metrics.NotifySent++ // advertisement counted as control traffic
+		l.Metrics.Inc(metrics.NotifySent) // advertisement counted as control traffic
 	}
 }
 
@@ -149,7 +149,7 @@ func (l *LEACH) flush() {
 	}
 	dist := l.dev.Pos().Dist(l.SinkPos)
 	if l.dev.SendRange(pkt, dist*1.01) {
-		l.Metrics.DataSent++
+		l.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -176,7 +176,7 @@ func (l *LEACH) OriginateData(payload []byte) {
 		}
 		dist := l.dev.Pos().Dist(l.chPos)
 		if l.dev.SendRange(pkt, dist*1.01) {
-			l.Metrics.DataSent++
+			l.Metrics.Inc(metrics.DataSent)
 		}
 	default:
 		// Clusterless: direct to sink.
@@ -192,7 +192,7 @@ func (l *LEACH) OriginateData(payload []byte) {
 		}
 		dist := l.dev.Pos().Dist(l.SinkPos)
 		if l.dev.SendRange(pkt, dist*1.01) {
-			l.Metrics.DataSent++
+			l.Metrics.Inc(metrics.DataSent)
 		}
 	}
 }
@@ -233,13 +233,13 @@ func (l *LEACH) HandleMessage(pkt *packet.Packet) {
 
 // LEACHSink absorbs aggregated packets and credits each constituent reading.
 type LEACHSink struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 
 	dev *node.Device
 }
 
 // NewLEACHSink creates the sink stack.
-func NewLEACHSink(m *core.Metrics) *LEACHSink { return &LEACHSink{Metrics: m} }
+func NewLEACHSink(m metrics.Sink) *LEACHSink { return &LEACHSink{Metrics: m} }
 
 // Start implements node.Stack.
 func (s *LEACHSink) Start(dev *node.Device) { s.dev = dev }

@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"math"
 
-	"wmsn/internal/core"
 	"wmsn/internal/geom"
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
@@ -28,7 +28,7 @@ const (
 
 // PEGASIS is the per-node stack. All nodes of a chain share one *Chain.
 type PEGASIS struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	Chain   *PegasisChain
 
 	dev    *node.Device
@@ -105,7 +105,7 @@ func (c *PegasisChain) Leader() packet.NodeID {
 }
 
 // NewPEGASIS creates the stack for one chain member.
-func NewPEGASIS(m *core.Metrics, chain *PegasisChain) *PEGASIS {
+func NewPEGASIS(m metrics.Sink, chain *PegasisChain) *PEGASIS {
 	return &PEGASIS{Metrics: m, Chain: chain}
 }
 
@@ -214,7 +214,7 @@ func (p *PEGASIS) forwardToken(entries []aggEntry, dir int) {
 	}
 	dist := p.dev.Pos().Dist(p.dev.World().Device(target).Pos())
 	if p.dev.SendRange(pkt, dist*1.01) {
-		p.Metrics.DataSent++
+		p.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -256,7 +256,7 @@ func (c *PegasisChain) halfArrived(leader packet.NodeID, entries []aggEntry) {
 	}
 	dist := st.dev.Pos().Dist(c.SinkPos)
 	if st.dev.SendRange(pkt, dist*1.01) {
-		st.Metrics.DataSent++
+		st.Metrics.Inc(metrics.DataSent)
 	}
 }
 

@@ -3,7 +3,7 @@ package baseline
 import (
 	"encoding/binary"
 
-	"wmsn/internal/core"
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 )
@@ -36,7 +36,7 @@ type rumorEntry struct {
 
 // RumorNode is the per-sensor stack.
 type RumorNode struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	// AgentsPerEvent is how many agents a witness launches.
 	AgentsPerEvent int
 	// AgentTTL / QueryTTL bound the random walks.
@@ -44,7 +44,6 @@ type RumorNode struct {
 
 	dev    *node.Device
 	events map[EventID]rumorEntry
-	seen   map[uint64]struct{} // dedup for agents and queries
 	seq    uint32
 
 	// AgentHops / QueryHops count transmissions for overhead analysis.
@@ -52,11 +51,10 @@ type RumorNode struct {
 }
 
 // NewRumorNode creates a stack with classic parameters.
-func NewRumorNode(m *core.Metrics) *RumorNode {
+func NewRumorNode(m metrics.Sink) *RumorNode {
 	return &RumorNode{
 		Metrics: m, AgentsPerEvent: 2, AgentTTL: 40, QueryTTL: 40,
 		events: make(map[EventID]rumorEntry),
-		seen:   make(map[uint64]struct{}),
 	}
 }
 

@@ -3,7 +3,7 @@ package baseline
 import (
 	"encoding/binary"
 
-	"wmsn/internal/core"
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 )
@@ -41,7 +41,7 @@ func parseSpinMeta(b []byte) (origin packet.NodeID, seq uint32, ok bool) {
 
 // SPIN is the per-sensor stack. The sink side is SPINSink.
 type SPIN struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 	// Advs/Reqs/Datas count the three message classes for the
 	// negotiation-efficiency analysis.
 	Advs, Reqs, Datas uint64
@@ -52,7 +52,7 @@ type SPIN struct {
 }
 
 // NewSPIN creates a SPIN sensor stack.
-func NewSPIN(m *core.Metrics) *SPIN {
+func NewSPIN(m metrics.Sink) *SPIN {
 	return &SPIN{Metrics: m, have: make(map[uint64][]byte)}
 }
 
@@ -135,7 +135,7 @@ func (s *SPIN) HandleMessage(pkt *packet.Packet) {
 		}
 		if s.dev.Send(data) {
 			s.Datas++
-			s.Metrics.DataSent++
+			s.Metrics.Inc(metrics.DataSent)
 		}
 	case packet.KindData: // requested DATA arriving
 		if pkt.Target != s.dev.ID() {
@@ -154,14 +154,14 @@ func (s *SPIN) HandleMessage(pkt *packet.Packet) {
 // SPINSink participates in the negotiation like any node but records
 // deliveries instead of re-advertising.
 type SPINSink struct {
-	Metrics *core.Metrics
+	Metrics metrics.Sink
 
 	dev  *node.Device
 	have map[uint64]bool
 }
 
 // NewSPINSink creates the sink stack.
-func NewSPINSink(m *core.Metrics) *SPINSink {
+func NewSPINSink(m metrics.Sink) *SPINSink {
 	return &SPINSink{Metrics: m, have: make(map[uint64]bool)}
 }
 

@@ -18,8 +18,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
+	"wmsn/internal/metrics"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -130,205 +130,13 @@ func compressPath(path []packet.NodeID) []packet.NodeID {
 	return out
 }
 
-// floodKey deduplicates flooded packets per (origin, sequence).
-type floodKey struct {
-	origin packet.NodeID
-	seq    uint32
-}
-
-// seenSet is a bounded dedup set for flood suppression.
-type seenSet struct {
-	m     map[floodKey]struct{}
-	limit int
-}
-
-func newSeenSet(limit int) *seenSet {
-	return &seenSet{m: make(map[floodKey]struct{}), limit: limit}
-}
-
-// Check records the key and reports whether it was already present.
-func (s *seenSet) Check(origin packet.NodeID, seq uint32) bool {
-	k := floodKey{origin, seq}
-	if _, ok := s.m[k]; ok {
-		return true
-	}
-	if len(s.m) >= s.limit {
-		// Bounded memory: drop everything; duplicates re-suppressed by TTL.
-		s.m = make(map[floodKey]struct{})
-	}
-	s.m[k] = struct{}{}
-	return false
-}
-
-// Metrics aggregates end-to-end protocol behaviour across a run. One Metrics
-// instance is shared by every stack in a scenario.
-type Metrics struct {
-	Generated      uint64 // data packets originated by sensors
-	Delivered      uint64 // data packets accepted at a gateway
-	DroppedNoRoute uint64 // originations abandoned after failed discovery
-	DroppedQueue   uint64 // originations rejected by a full queue
-	Duplicates     uint64 // data packets delivered more than once
-
-	RReqSent      uint64 // RREQ transmissions (incl. rebroadcasts)
-	RResSent      uint64 // RRES transmissions (incl. forwards)
-	NotifySent    uint64 // gateway movement notifications
-	AckSent       uint64 // SecMLR acknowledgments
-	DataSent      uint64 // data transmissions (incl. forwards)
-	Failovers     uint64 // SecMLR route failovers after missing ACKs
-	AbandonedData uint64 // SecMLR data given up after exhausting routes
-
-	RejectedMAC    uint64 // packets dropped for bad MACs
-	RejectedReplay uint64 // packets dropped for stale counters
-
-	ForwardNoEntry    uint64 // data dropped mid-path: no table entry
-	ForwardTTLExpired uint64 // data dropped mid-path: TTL exhausted
-	ForwardSelfLoop   uint64 // data dropped mid-path: malformed path
-
-	pending    map[floodKey]pendingData
-	latencies  []sim.Duration
-	hops       []int
-	perGateway map[packet.NodeID]uint64
-	delivered  map[floodKey]struct{}
-}
-
-type pendingData struct {
-	at sim.Time
-}
+// Metrics is the shared in-memory telemetry sink every experiment reads.
+// It is an alias for metrics.Memory: protocol stacks report through the
+// metrics.Sink interface, and this name is kept so harness and test code
+// that reads core.Metrics fields keeps compiling unchanged.
+type Metrics = metrics.Memory
 
 // NewMetrics returns an empty metrics sink.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		pending:    make(map[floodKey]pendingData),
-		perGateway: make(map[packet.NodeID]uint64),
-		delivered:  make(map[floodKey]struct{}),
-	}
-}
-
-// RecordGenerated notes a data packet leaving its origin.
-func (m *Metrics) RecordGenerated(origin packet.NodeID, seq uint32, now sim.Time) {
-	m.Generated++
-	m.pending[floodKey{origin, seq}] = pendingData{at: now}
-}
-
-// RecordDelivered notes a data packet accepted by gateway gw.
-func (m *Metrics) RecordDelivered(origin packet.NodeID, seq uint32, gw packet.NodeID, hops int, now sim.Time) {
-	k := floodKey{origin, seq}
-	if _, dup := m.delivered[k]; dup {
-		m.Duplicates++
-		return
-	}
-	m.delivered[k] = struct{}{}
-	m.Delivered++
-	m.perGateway[gw]++
-	m.hops = append(m.hops, hops)
-	if p, ok := m.pending[k]; ok {
-		m.latencies = append(m.latencies, now-p.at)
-		delete(m.pending, k)
-	}
-}
-
-// Undelivered lists (origin, seq) pairs generated but never delivered, in
-// unspecified order — post-mortem debugging and loss analysis.
-func (m *Metrics) Undelivered() [][2]uint64 {
-	out := make([][2]uint64, 0, len(m.pending))
-	for k := range m.pending {
-		out = append(out, [2]uint64{uint64(k.origin), uint64(k.seq)})
-	}
-	return out
-}
-
-// DeliveryRatio returns Delivered/Generated (1 when nothing was generated).
-func (m *Metrics) DeliveryRatio() float64 {
-	if m.Generated == 0 {
-		return 1
-	}
-	return float64(m.Delivered) / float64(m.Generated)
-}
-
-// MeanHops returns the average hop count over delivered data.
-func (m *Metrics) MeanHops() float64 {
-	if len(m.hops) == 0 {
-		return 0
-	}
-	total := 0
-	for _, h := range m.hops {
-		total += h
-	}
-	return float64(total) / float64(len(m.hops))
-}
-
-// MeanLatency returns the average origination-to-delivery latency.
-func (m *Metrics) MeanLatency() sim.Duration {
-	if len(m.latencies) == 0 {
-		return 0
-	}
-	var total sim.Duration
-	for _, l := range m.latencies {
-		total += l
-	}
-	return total / sim.Duration(len(m.latencies))
-}
-
-// LatencyPercentile returns the p-th percentile latency, p in [0,100].
-func (m *Metrics) LatencyPercentile(p float64) sim.Duration {
-	if len(m.latencies) == 0 {
-		return 0
-	}
-	ls := append([]sim.Duration(nil), m.latencies...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-	idx := int(p / 100 * float64(len(ls)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(ls) {
-		idx = len(ls) - 1
-	}
-	return ls[idx]
-}
-
-// DeliveredFrom returns how many distinct packets claiming the given origin
-// were accepted by gateways — the forged-data-accepted metric of the Sybil
-// experiment.
-func (m *Metrics) DeliveredFrom(origin packet.NodeID) uint64 {
-	var n uint64
-	for k := range m.delivered {
-		if k.origin == origin {
-			n++
-		}
-	}
-	return n
-}
-
-// PerGateway returns deliveries per gateway ID (load-balance metric, E8).
-func (m *Metrics) PerGateway() map[packet.NodeID]uint64 {
-	out := make(map[packet.NodeID]uint64, len(m.perGateway))
-	for k, v := range m.perGateway {
-		out[k] = v
-	}
-	return out
-}
-
-// GatewayLoadImbalance returns max/mean deliveries across gateways
-// (1 = perfectly balanced; 0 when no gateway delivered anything).
-func (m *Metrics) GatewayLoadImbalance() float64 {
-	if len(m.perGateway) == 0 {
-		return 0
-	}
-	var max, total uint64
-	for _, v := range m.perGateway {
-		total += v
-		if v > max {
-			max = v
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	mean := float64(total) / float64(len(m.perGateway))
-	return float64(max) / mean
-}
-
-// ControlPackets returns total control-plane transmissions.
-func (m *Metrics) ControlPackets() uint64 {
-	return m.RReqSent + m.RResSent + m.NotifySent + m.AckSent
+	return metrics.New()
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"wmsn/internal/geom"
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
@@ -97,11 +98,11 @@ func parsePlacePayload(b []byte) (place int, rest []byte, ok bool) {
 // current feasible place, absorbs data, and floods a NOTIFY when moved.
 type MLRGateway struct {
 	Params  Params
-	Metrics *Metrics
+	Metrics metrics.Sink
 	Uplink  func(origin packet.NodeID, seq uint32, payload []byte)
 
 	dev   *node.Device
-	seen  *seenSet
+	seen  *packet.Dedupe
 	place int
 	round int
 	seq   uint32
@@ -120,7 +121,7 @@ type MLRGateway struct {
 
 // NewMLRGateway creates an MLR gateway stack; place is assigned by the
 // round controller before traffic starts.
-func NewMLRGateway(p Params, m *Metrics) *MLRGateway {
+func NewMLRGateway(p Params, m metrics.Sink) *MLRGateway {
 	return &MLRGateway{Params: p, Metrics: m, place: -1,
 		paths: make(map[packet.NodeID][]packet.NodeID)}
 }
@@ -128,7 +129,7 @@ func NewMLRGateway(p Params, m *Metrics) *MLRGateway {
 // Start implements node.Stack.
 func (g *MLRGateway) Start(dev *node.Device) {
 	g.dev = dev
-	g.seen = newSeenSet(1 << 14)
+	g.seen = packet.NewDedupe(1 << 14)
 }
 
 // Place returns the gateway's current feasible-place index (-1 before
@@ -169,7 +170,7 @@ func (g *MLRGateway) floodNotify(payload []byte) {
 	}
 	g.seen.Check(g.dev.ID(), g.seq)
 	if g.dev.Send(pkt) {
-		g.Metrics.NotifySent++
+		g.Metrics.Inc(metrics.NotifySent)
 	}
 }
 
@@ -198,7 +199,7 @@ func (g *MLRGateway) SendToSensor(sensor packet.NodeID, payload []byte) bool {
 		Payload: payload,
 	}
 	if g.dev.Send(pkt) {
-		g.Metrics.DataSent++
+		g.Metrics.Inc(metrics.DataSent)
 		return true
 	}
 	return false
@@ -228,7 +229,7 @@ func (g *MLRGateway) HandleMessage(pkt *packet.Packet) {
 			Payload: placePayload(g.place, nil),
 		}
 		if g.dev.Send(res) {
-			g.Metrics.RResSent++
+			g.Metrics.Inc(metrics.RResSent)
 		}
 	case packet.KindData:
 		if pkt.Target != g.dev.ID() {
@@ -253,10 +254,10 @@ func (g *MLRGateway) HandleMessage(pkt *packet.Packet) {
 // MLRSensor is the sensor side of MLR.
 type MLRSensor struct {
 	Params  Params
-	Metrics *Metrics
+	Metrics metrics.Sink
 
 	dev  *node.Device
-	seen *seenSet
+	seen *packet.Dedupe
 	seq  uint32
 
 	// table is the incremental routing table, keyed by feasible place; it
@@ -278,7 +279,7 @@ type MLRSensor struct {
 }
 
 // NewMLRSensor creates a sensor stack.
-func NewMLRSensor(p Params, m *Metrics) *MLRSensor {
+func NewMLRSensor(p Params, m metrics.Sink) *MLRSensor {
 	return &MLRSensor{
 		Params: p, Metrics: m,
 		table:      make(map[int]Route),
@@ -290,7 +291,7 @@ func NewMLRSensor(p Params, m *Metrics) *MLRSensor {
 // Start implements node.Stack.
 func (s *MLRSensor) Start(dev *node.Device) {
 	s.dev = dev
-	s.seen = newSeenSet(1 << 14)
+	s.seen = packet.NewDedupe(1 << 14)
 }
 
 // Table returns a copy of the incremental routing table, keyed by place.
@@ -376,7 +377,7 @@ func (s *MLRSensor) OriginateData(payload []byte) {
 		}
 	}
 	if len(s.queue) >= s.Params.QueueLimit {
-		s.Metrics.DroppedQueue++
+		s.Metrics.Inc(metrics.DroppedQueue)
 		return
 	}
 	s.queue = append(s.queue, payload)
@@ -401,7 +402,7 @@ func (s *MLRSensor) startDiscovery() {
 	}
 	s.seen.Check(s.dev.ID(), s.seq)
 	if s.dev.Send(req) {
-		s.Metrics.RReqSent++
+		s.Metrics.Inc(metrics.RReqSent)
 	}
 	s.dev.After(s.Params.ResponseWait, s.decide)
 }
@@ -418,7 +419,7 @@ func (s *MLRSensor) decide() {
 			s.startDiscovery()
 			return
 		}
-		s.Metrics.DroppedNoRoute += uint64(len(s.queue))
+		s.Metrics.Add(metrics.DroppedNoRoute, uint64(len(s.queue)))
 		s.queue = nil
 		return
 	}
@@ -454,7 +455,7 @@ func (s *MLRSensor) sendData(payload []byte, r *Route) {
 	}
 	s.Metrics.RecordGenerated(s.dev.ID(), s.seq, s.dev.Now())
 	if s.dev.Send(pkt) {
-		s.Metrics.DataSent++
+		s.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -515,7 +516,7 @@ func (s *MLRSensor) handleRReq(pkt *packet.Packet) {
 			Payload: placePayload(p, nil),
 		}
 		if s.dev.Send(res) {
-			s.Metrics.RResSent++
+			s.Metrics.Inc(metrics.RResSent)
 		}
 		answered++
 	}
@@ -531,23 +532,23 @@ reflood:
 	fwd.From = s.dev.ID()
 	fwd.TTL--
 	fwd.Hops++
-	s.sendFlood(fwd, &s.Metrics.RReqSent)
+	s.sendFlood(fwd, metrics.RReqSent)
 }
 
 // sendFlood transmits a flood rebroadcast with optional de-synchronizing
 // jitter (see Params.FloodJitter).
-func (s *MLRSensor) sendFlood(fwd *packet.Packet, counter *uint64) {
+func (s *MLRSensor) sendFlood(fwd *packet.Packet, counter metrics.Counter) {
 	if j := s.Params.FloodJitter; j > 0 {
 		delay := sim.Duration(s.dev.World().Kernel().Rand().Int63n(int64(j)))
 		s.dev.After(delay, func() {
 			if s.dev.Alive() && s.dev.Send(fwd) {
-				*counter++
+				s.Metrics.Inc(counter)
 			}
 		})
 		return
 	}
 	if s.dev.Send(fwd) {
-		*counter++
+		s.Metrics.Inc(counter)
 	}
 }
 
@@ -575,7 +576,7 @@ func (s *MLRSensor) handleRRes(pkt *packet.Packet) {
 	fwd.To = pkt.Path[idx-1]
 	fwd.Hops++
 	if s.dev.Send(fwd) {
-		s.Metrics.RResSent++
+		s.Metrics.Inc(metrics.RResSent)
 	}
 }
 
@@ -602,7 +603,7 @@ func (s *MLRSensor) handleData(pkt *packet.Packet) {
 		fwd.TTL--
 		fwd.Hops++
 		if s.dev.Send(fwd) {
-			s.Metrics.DataSent++
+			s.Metrics.Inc(metrics.DataSent)
 		}
 		return
 	}
@@ -625,7 +626,7 @@ func (s *MLRSensor) handleData(pkt *packet.Packet) {
 	fwd.TTL--
 	fwd.Hops++
 	if s.dev.Send(fwd) {
-		s.Metrics.DataSent++
+		s.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -663,7 +664,7 @@ func (s *MLRSensor) handleNotify(pkt *packet.Packet) {
 	fwd.From = s.dev.ID()
 	fwd.TTL--
 	fwd.Hops++
-	s.sendFlood(fwd, &s.Metrics.NotifySent)
+	s.sendFlood(fwd, metrics.NotifySent)
 }
 
 func (s *MLRSensor) applyNotify(gw packet.NodeID, n mlrNotify) {

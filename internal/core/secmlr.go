@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
@@ -100,12 +101,12 @@ func parseResBody(b []byte) (place, round int, ok bool) {
 // computations should be performed by gateways").
 type SecMLRGateway struct {
 	Params  Params
-	Metrics *Metrics
+	Metrics metrics.Sink
 	Keys    *GatewayKeys
 	Uplink  func(origin packet.NodeID, seq uint32, payload []byte)
 
 	dev   *node.Device
-	seen  *seenSet
+	seen  *packet.Dedupe
 	place int
 	round int
 	seq   uint32
@@ -114,7 +115,7 @@ type SecMLRGateway struct {
 	txCtr  map[packet.NodeID]uint64
 	// collecting accumulates alternative RREQ paths per (origin, seq)
 	// during the GatewayWait window.
-	collecting map[floodKey]*pathCollection
+	collecting map[packet.DedupeKey]*pathCollection
 	// paths remembers the chosen path per sensor, reversed for ACKs.
 	paths map[packet.NodeID][]packet.NodeID
 }
@@ -125,13 +126,13 @@ type pathCollection struct {
 }
 
 // NewSecMLRGateway creates a SecMLR gateway stack with its keying material.
-func NewSecMLRGateway(p Params, m *Metrics, keys *GatewayKeys) *SecMLRGateway {
+func NewSecMLRGateway(p Params, m metrics.Sink, keys *GatewayKeys) *SecMLRGateway {
 	return &SecMLRGateway{
 		Params: p, Metrics: m, Keys: keys,
 		place:      -1,
 		guards:     make(map[packet.NodeID]*wsncrypto.ReplayGuard),
 		txCtr:      make(map[packet.NodeID]uint64),
-		collecting: make(map[floodKey]*pathCollection),
+		collecting: make(map[packet.DedupeKey]*pathCollection),
 		paths:      make(map[packet.NodeID][]packet.NodeID),
 	}
 }
@@ -139,7 +140,7 @@ func NewSecMLRGateway(p Params, m *Metrics, keys *GatewayKeys) *SecMLRGateway {
 // Start implements node.Stack.
 func (g *SecMLRGateway) Start(dev *node.Device) {
 	g.dev = dev
-	g.seen = newSeenSet(1 << 14)
+	g.seen = packet.NewDedupe(1 << 14)
 }
 
 // Place returns the current feasible-place index (-1 before deployment).
@@ -206,7 +207,7 @@ func (g *SecMLRGateway) floodNotify(payload []byte) {
 	}
 	g.seen.Check(g.dev.ID(), g.seq)
 	if g.dev.Send(pkt) {
-		g.Metrics.NotifySent++
+		g.Metrics.Inc(metrics.NotifySent)
 	}
 }
 
@@ -243,16 +244,16 @@ func (g *SecMLRGateway) handleRReq(pkt *packet.Packet) {
 	}
 	key, known := g.Keys.Lookup(pkt.Origin)
 	if !known {
-		g.Metrics.RejectedMAC++ // unknown (e.g. Sybil) or revoked identity
+		g.Metrics.Inc(metrics.RejectedMAC) // unknown (e.g. Sybil) or revoked identity
 		return
 	}
 	// Verify (1) origin authenticity via the MAC ...
 	if !wsncrypto.Verify(key, mine.Counter, []byte{mine.Cipher}, mine.MAC) {
-		g.Metrics.RejectedMAC++
+		g.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	path := pkt.AppendHop(g.dev.ID())
-	k := floodKey{pkt.Origin, pkt.Seq}
+	k := packet.DedupeKey{Origin: pkt.Origin, Seq: pkt.Seq}
 	if col, collecting := g.collecting[k]; collecting {
 		// Another copy of an in-flight query: keep the alternative path.
 		if col.counter == mine.Counter {
@@ -262,7 +263,7 @@ func (g *SecMLRGateway) handleRReq(pkt *packet.Packet) {
 	}
 	// ... and (2) freshness via the incremental counter (§6.2.2).
 	if !g.guard(pkt.Origin).Accept(mine.Counter) {
-		g.Metrics.RejectedReplay++
+		g.Metrics.Inc(metrics.RejectedReplay)
 		return
 	}
 	col := &pathCollection{counter: mine.Counter, paths: [][]packet.NodeID{path}}
@@ -274,7 +275,7 @@ func (g *SecMLRGateway) handleRReq(pkt *packet.Packet) {
 
 // answer closes the collection window and responds with the shortest path.
 func (g *SecMLRGateway) answer(origin packet.NodeID, seq uint32) {
-	k := floodKey{origin, seq}
+	k := packet.DedupeKey{Origin: origin, Seq: seq}
 	col, ok := g.collecting[k]
 	if !ok || g.place < 0 {
 		return
@@ -309,7 +310,7 @@ func (g *SecMLRGateway) answer(origin packet.NodeID, seq uint32) {
 		},
 	}
 	if g.dev.Send(res) {
-		g.Metrics.RResSent++
+		g.Metrics.Inc(metrics.RResSent)
 	}
 }
 
@@ -318,7 +319,7 @@ func (g *SecMLRGateway) handleData(pkt *packet.Packet) {
 		return
 	}
 	if pkt.Sec == nil {
-		g.Metrics.RejectedMAC++ // unprotected data (e.g. Sybil injection)
+		g.Metrics.Inc(metrics.RejectedMAC) // unprotected data (e.g. Sybil injection)
 		return
 	}
 	_, _, ok := parsePlacePayload(pkt.Payload)
@@ -327,15 +328,15 @@ func (g *SecMLRGateway) handleData(pkt *packet.Packet) {
 	}
 	key, known := g.Keys.Lookup(pkt.Origin)
 	if !known {
-		g.Metrics.RejectedMAC++
+		g.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	if !wsncrypto.Verify(key, pkt.Sec.Counter, pkt.Sec.Cipher, pkt.Sec.MAC) {
-		g.Metrics.RejectedMAC++
+		g.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	if !g.guard(pkt.Origin).Accept(pkt.Sec.Counter) {
-		g.Metrics.RejectedReplay++
+		g.Metrics.Inc(metrics.RejectedReplay)
 		return
 	}
 	body := wsncrypto.Decrypt(key, pkt.Sec.Counter, pkt.Sec.Cipher)
@@ -382,7 +383,7 @@ func (g *SecMLRGateway) SendToSensor(sensor packet.NodeID, payload []byte) bool 
 		},
 	}
 	if g.dev.Send(pkt) {
-		g.Metrics.DataSent++
+		g.Metrics.Inc(metrics.DataSent)
 		return true
 	}
 	return false
@@ -420,7 +421,7 @@ func (g *SecMLRGateway) sendAck(origin packet.NodeID, seq uint32) {
 		},
 	}
 	if g.dev.Send(ack) {
-		g.Metrics.AckSent++
+		g.Metrics.Inc(metrics.AckSent)
 	}
 }
 
@@ -439,11 +440,11 @@ type bufferedNotify struct {
 // SecMLRSensor is the sensor side of SecMLR.
 type SecMLRSensor struct {
 	Params  Params
-	Metrics *Metrics
+	Metrics metrics.Sink
 	Keys    *SensorKeys
 
 	dev  *node.Device
-	seen *seenSet
+	seen *packet.Dedupe
 	seq  uint32
 
 	// table holds per-flow forwarding entries — the paper's 4-tuple
@@ -489,7 +490,7 @@ type flowKey struct {
 }
 
 // NewSecMLRSensor creates a sensor stack with its pre-distributed keys.
-func NewSecMLRSensor(p Params, m *Metrics, keys *SensorKeys) *SecMLRSensor {
+func NewSecMLRSensor(p Params, m metrics.Sink, keys *SensorKeys) *SecMLRSensor {
 	s := &SecMLRSensor{
 		Params: p, Metrics: m, Keys: keys,
 		table:    make(map[flowKey]Route),
@@ -512,7 +513,7 @@ func NewSecMLRSensor(p Params, m *Metrics, keys *SensorKeys) *SecMLRSensor {
 // Start implements node.Stack.
 func (s *SecMLRSensor) Start(dev *node.Device) {
 	s.dev = dev
-	s.seen = newSeenSet(1 << 14)
+	s.seen = packet.NewDedupe(1 << 14)
 }
 
 // ForwardingTableSize returns the number of per-flow forwarding entries.
@@ -593,7 +594,7 @@ func (s *SecMLRSensor) OriginateData(payload []byte) {
 		}
 	}
 	if len(s.queue) >= s.Params.QueueLimit {
-		s.Metrics.DroppedQueue++
+		s.Metrics.Inc(metrics.DroppedQueue)
 		return
 	}
 	s.queue = append(s.queue, payload)
@@ -639,7 +640,7 @@ func (s *SecMLRSensor) startDiscovery() {
 	}
 	s.seen.Check(s.dev.ID(), s.seq)
 	if s.dev.Send(req) {
-		s.Metrics.RReqSent++
+		s.Metrics.Inc(metrics.RReqSent)
 	}
 	s.dev.After(s.Params.ResponseWait, s.decide)
 }
@@ -656,7 +657,7 @@ func (s *SecMLRSensor) decide() {
 			s.startDiscovery()
 			return
 		}
-		s.Metrics.DroppedNoRoute += uint64(len(s.queue))
+		s.Metrics.Add(metrics.DroppedNoRoute, uint64(len(s.queue)))
 		s.queue = nil
 		return
 	}
@@ -704,7 +705,7 @@ func (s *SecMLRSensor) sendData(payload []byte, r *Route, prev *pendingTx) {
 		},
 	}
 	if s.dev.Send(pkt) {
-		s.Metrics.DataSent++
+		s.Metrics.Inc(metrics.DataSent)
 	}
 	if tx.timer != nil {
 		tx.timer.Stop()
@@ -722,10 +723,10 @@ func (s *SecMLRSensor) failover(seq uint32) {
 	next := s.bestVerified(tx.tried)
 	if next == nil {
 		delete(s.pending, seq)
-		s.Metrics.AbandonedData++
+		s.Metrics.Inc(metrics.AbandonedData)
 		return
 	}
-	s.Metrics.Failovers++
+	s.Metrics.Inc(metrics.Failovers)
 	s.sendData(tx.payload, next, tx)
 }
 
@@ -762,23 +763,23 @@ func (s *SecMLRSensor) handleRReq(pkt *packet.Packet) {
 	fwd.From = s.dev.ID()
 	fwd.TTL--
 	fwd.Hops++
-	s.sendFlood(fwd, &s.Metrics.RReqSent)
+	s.sendFlood(fwd, metrics.RReqSent)
 }
 
 // sendFlood transmits a flood rebroadcast with optional de-synchronizing
 // jitter (see Params.FloodJitter).
-func (s *SecMLRSensor) sendFlood(fwd *packet.Packet, counter *uint64) {
+func (s *SecMLRSensor) sendFlood(fwd *packet.Packet, counter metrics.Counter) {
 	if j := s.Params.FloodJitter; j > 0 {
 		delay := sim.Duration(s.dev.World().Kernel().Rand().Int63n(int64(j)))
 		s.dev.After(delay, func() {
 			if s.dev.Alive() && s.dev.Send(fwd) {
-				*counter++
+				s.Metrics.Inc(counter)
 			}
 		})
 		return
 	}
 	if s.dev.Send(fwd) {
-		*counter++
+		s.Metrics.Inc(counter)
 	}
 }
 
@@ -806,29 +807,29 @@ func (s *SecMLRSensor) handleRRes(pkt *packet.Packet) {
 		fwd.To = pkt.Path[idx-1]
 		fwd.Hops++
 		if s.dev.Send(fwd) {
-			s.Metrics.RResSent++
+			s.Metrics.Inc(metrics.RResSent)
 		}
 		return
 	}
 	// Response addressed to us: authenticate before believing anything.
 	key, known := s.Keys.Gateway[gw]
 	if !known || pkt.Sec == nil {
-		s.Metrics.RejectedMAC++
+		s.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	if !wsncrypto.Verify(key, pkt.Sec.Counter, pkt.Sec.Cipher, pkt.Sec.MAC) {
-		s.Metrics.RejectedMAC++
+		s.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	if !s.guard(gw).Accept(pkt.Sec.Counter) {
-		s.Metrics.RejectedReplay++
+		s.Metrics.Inc(metrics.RejectedReplay)
 		return
 	}
 	body := wsncrypto.Decrypt(key, pkt.Sec.Counter, pkt.Sec.Cipher)
 	secPlace, _, okBody := parseResBody(body)
 	if !okBody || secPlace != place {
 		// Clear-text place field was tampered with in flight.
-		s.Metrics.RejectedMAC++
+		s.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	route := Route{Gateway: gw, Place: place, Hops: len(pkt.Path) - 1,
@@ -859,7 +860,7 @@ func (s *SecMLRSensor) handleData(pkt *packet.Packet) {
 		fwd.TTL--
 		fwd.Hops++
 		if s.dev.Send(fwd) {
-			s.Metrics.DataSent++
+			s.Metrics.Inc(metrics.DataSent)
 		}
 		return
 	}
@@ -878,7 +879,7 @@ func (s *SecMLRSensor) handleData(pkt *packet.Packet) {
 	fwd.TTL--
 	fwd.Hops++
 	if s.dev.Send(fwd) {
-		s.Metrics.DataSent++
+		s.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -887,15 +888,15 @@ func (s *SecMLRSensor) deliverDownstream(pkt *packet.Packet) {
 	gw := pkt.Origin
 	key, known := s.Keys.Gateway[gw]
 	if !known || pkt.Sec == nil {
-		s.Metrics.RejectedMAC++
+		s.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	if !wsncrypto.Verify(key, pkt.Sec.Counter, pkt.Sec.Cipher, pkt.Sec.MAC) {
-		s.Metrics.RejectedMAC++
+		s.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	if !s.guard(gw).Accept(pkt.Sec.Counter) {
-		s.Metrics.RejectedReplay++
+		s.Metrics.Inc(metrics.RejectedReplay)
 		return
 	}
 	if s.OnDownstream != nil {
@@ -918,22 +919,22 @@ func (s *SecMLRSensor) handleAck(pkt *packet.Packet) {
 		fwd.TTL--
 		fwd.Hops++
 		if s.dev.Send(fwd) {
-			s.Metrics.AckSent++
+			s.Metrics.Inc(metrics.AckSent)
 		}
 		return
 	}
 	gw := pkt.Origin
 	key, known := s.Keys.Gateway[gw]
 	if !known {
-		s.Metrics.RejectedMAC++
+		s.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	if !wsncrypto.Verify(key, pkt.Sec.Counter, pkt.Sec.Cipher, pkt.Sec.MAC) {
-		s.Metrics.RejectedMAC++
+		s.Metrics.Inc(metrics.RejectedMAC)
 		return
 	}
 	if !s.guard(gw).Accept(pkt.Sec.Counter) {
-		s.Metrics.RejectedReplay++
+		s.Metrics.Inc(metrics.RejectedReplay)
 		return
 	}
 	body := wsncrypto.Decrypt(key, pkt.Sec.Counter, pkt.Sec.Cipher)
@@ -959,7 +960,7 @@ func (s *SecMLRSensor) handleNotify(pkt *packet.Packet) {
 		fwd.From = s.dev.ID()
 		fwd.TTL--
 		fwd.Hops++
-		s.sendFlood(fwd, &s.Metrics.NotifySent)
+		s.sendFlood(fwd, metrics.NotifySent)
 	}
 }
 
@@ -983,7 +984,7 @@ func (s *SecMLRSensor) processNotify(pkt *packet.Packet) {
 		if interval <= st.verifier.Interval() {
 			// The key for this interval is already public; a MAC under it
 			// proves nothing (could be forged after disclosure).
-			s.Metrics.RejectedReplay++
+			s.Metrics.Inc(metrics.RejectedReplay)
 			return
 		}
 		st.buffered[interval] = append(st.buffered[interval], bufferedNotify{
@@ -998,12 +999,12 @@ func (s *SecMLRSensor) processNotify(pkt *packet.Packet) {
 		interval := int(binary.BigEndian.Uint16(rest))
 		key := rest[2 : 2+wsncrypto.KeySize]
 		if !st.verifier.AcceptKey(interval, key) {
-			s.Metrics.RejectedMAC++
+			s.Metrics.Inc(metrics.RejectedMAC)
 			return
 		}
 		for _, buf := range st.buffered[interval] {
 			if !st.verifier.VerifyMessage(interval, buf.body, buf.tag) {
-				s.Metrics.RejectedMAC++
+				s.Metrics.Inc(metrics.RejectedMAC)
 				continue
 			}
 			if n, ok := parseMLRNotify(buf.body); ok {

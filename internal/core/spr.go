@@ -1,6 +1,7 @@
 package core
 
 import (
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
@@ -18,10 +19,10 @@ import (
 // SPRSensor is the sensor-node side of SPR.
 type SPRSensor struct {
 	Params  Params
-	Metrics *Metrics
+	Metrics metrics.Sink
 
 	dev  *node.Device
-	seen *seenSet
+	seen *packet.Dedupe
 	seq  uint32
 
 	// table holds the discovered route per gateway; best points at the
@@ -40,14 +41,14 @@ type SPRSensor struct {
 
 // NewSPRSensor creates a sensor stack with the given parameters and shared
 // metrics sink.
-func NewSPRSensor(p Params, m *Metrics) *SPRSensor {
+func NewSPRSensor(p Params, m metrics.Sink) *SPRSensor {
 	return &SPRSensor{Params: p, Metrics: m, table: make(map[packet.NodeID]Route)}
 }
 
 // Start implements node.Stack.
 func (s *SPRSensor) Start(dev *node.Device) {
 	s.dev = dev
-	s.seen = newSeenSet(1 << 14)
+	s.seen = packet.NewDedupe(1 << 14)
 }
 
 // BestRoute returns the route data currently follows, or nil.
@@ -79,7 +80,7 @@ func (s *SPRSensor) OriginateData(payload []byte) {
 		return
 	}
 	if len(s.queue) >= s.Params.QueueLimit {
-		s.Metrics.DroppedQueue++
+		s.Metrics.Inc(metrics.DroppedQueue)
 		return
 	}
 	s.queue = append(s.queue, payload)
@@ -105,7 +106,7 @@ func (s *SPRSensor) startDiscovery() {
 	}
 	s.seen.Check(s.dev.ID(), s.seq) // never re-forward our own flood
 	if s.dev.Send(req) {
-		s.Metrics.RReqSent++
+		s.Metrics.Inc(metrics.RReqSent)
 	}
 	s.dev.After(s.Params.ResponseWait, s.decide)
 }
@@ -123,7 +124,7 @@ func (s *SPRSensor) decide() {
 			s.startDiscovery()
 			return
 		}
-		s.Metrics.DroppedNoRoute += uint64(len(s.queue))
+		s.Metrics.Add(metrics.DroppedNoRoute, uint64(len(s.queue)))
 		s.queue = nil
 		return
 	}
@@ -173,7 +174,7 @@ func (s *SPRSensor) sendData(payload []byte) {
 	}
 	s.Metrics.RecordGenerated(s.dev.ID(), s.seq, s.dev.Now())
 	if s.dev.Send(pkt) {
-		s.Metrics.DataSent++
+		s.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -214,7 +215,7 @@ func (s *SPRSensor) handleRReq(pkt *packet.Packet) {
 			Path:   full,
 		}
 		if s.dev.Send(res) {
-			s.Metrics.RResSent++
+			s.Metrics.Inc(metrics.RResSent)
 		}
 		return
 	}
@@ -226,23 +227,23 @@ func (s *SPRSensor) handleRReq(pkt *packet.Packet) {
 	fwd.From = s.dev.ID()
 	fwd.TTL--
 	fwd.Hops++
-	s.sendFlood(fwd, &s.Metrics.RReqSent)
+	s.sendFlood(fwd, metrics.RReqSent)
 }
 
 // sendFlood transmits a flood rebroadcast, optionally jittered to
 // de-synchronize broadcast storms on collision-prone media.
-func (s *SPRSensor) sendFlood(fwd *packet.Packet, counter *uint64) {
+func (s *SPRSensor) sendFlood(fwd *packet.Packet, counter metrics.Counter) {
 	if j := s.Params.FloodJitter; j > 0 {
 		delay := sim.Duration(s.dev.World().Kernel().Rand().Int63n(int64(j)))
 		s.dev.After(delay, func() {
 			if s.dev.Alive() && s.dev.Send(fwd) {
-				*counter++
+				s.Metrics.Inc(counter)
 			}
 		})
 		return
 	}
 	if s.dev.Send(fwd) {
-		*counter++
+		s.Metrics.Inc(counter)
 	}
 }
 
@@ -270,7 +271,7 @@ func (s *SPRSensor) handleRRes(pkt *packet.Packet) {
 	fwd.To = pkt.Path[idx-1]
 	fwd.Hops++
 	if s.dev.Send(fwd) {
-		s.Metrics.RResSent++
+		s.Metrics.Inc(metrics.RResSent)
 	}
 }
 
@@ -279,7 +280,7 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 		return // sensors are not data sinks; stop mis-addressed traffic
 	}
 	if pkt.TTL <= 1 {
-		s.Metrics.ForwardTTLExpired++
+		s.Metrics.Inc(metrics.ForwardTTLExpired)
 		return
 	}
 	if len(pkt.Path) > 0 {
@@ -287,7 +288,7 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 		// justified by Property 1) and forward along the carried path.
 		idx := indexOf(pkt.Path, s.dev.ID())
 		if idx < 0 || idx+1 >= len(pkt.Path) {
-			s.Metrics.ForwardSelfLoop++
+			s.Metrics.Inc(metrics.ForwardSelfLoop)
 			return
 		}
 		suffix := append([]packet.NodeID(nil), pkt.Path[idx:]...)
@@ -305,14 +306,14 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 		fwd.TTL--
 		fwd.Hops++
 		if s.dev.Send(fwd) {
-			s.Metrics.DataSent++
+			s.Metrics.Inc(metrics.DataSent)
 		}
 		return
 	}
 	// Path-less packet: forward from the local table (step 5.3).
 	r, ok := s.table[pkt.Target]
 	if !ok {
-		s.Metrics.ForwardNoEntry++
+		s.Metrics.Inc(metrics.ForwardNoEntry)
 		return
 	}
 	fwd := pkt.Clone()
@@ -321,7 +322,7 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 	fwd.TTL--
 	fwd.Hops++
 	if s.dev.Send(fwd) {
-		s.Metrics.DataSent++
+		s.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -338,24 +339,24 @@ func indexOf(path []packet.NodeID, id packet.NodeID) int {
 // absorbs data, optionally relaying it up the mesh backbone.
 type SPRGateway struct {
 	Params  Params
-	Metrics *Metrics
+	Metrics metrics.Sink
 	// Uplink, when set, receives every delivered data packet (the mesh
 	// layer hooks in here).
 	Uplink func(origin packet.NodeID, seq uint32, payload []byte)
 
 	dev  *node.Device
-	seen *seenSet
+	seen *packet.Dedupe
 }
 
 // NewSPRGateway creates a gateway stack.
-func NewSPRGateway(p Params, m *Metrics) *SPRGateway {
+func NewSPRGateway(p Params, m metrics.Sink) *SPRGateway {
 	return &SPRGateway{Params: p, Metrics: m}
 }
 
 // Start implements node.Stack.
 func (g *SPRGateway) Start(dev *node.Device) {
 	g.dev = dev
-	g.seen = newSeenSet(1 << 14)
+	g.seen = packet.NewDedupe(1 << 14)
 }
 
 // HandleMessage implements node.Stack.
@@ -380,7 +381,7 @@ func (g *SPRGateway) HandleMessage(pkt *packet.Packet) {
 			Path:   full,
 		}
 		if g.dev.Send(res) {
-			g.Metrics.RResSent++
+			g.Metrics.Inc(metrics.RResSent)
 		}
 	case packet.KindData:
 		if pkt.Target != g.dev.ID() {

@@ -323,14 +323,14 @@ func TestRouteHelpers(t *testing.T) {
 }
 
 func TestSeenSetBounded(t *testing.T) {
-	s := newSeenSet(10)
+	s := packet.NewDedupe(10)
 	for i := uint32(0); i < 100; i++ {
 		if s.Check(1, i) {
 			t.Fatalf("fresh key %d reported seen", i)
 		}
 	}
-	if len(s.m) > 10 {
-		t.Fatalf("seen set grew to %d > limit", len(s.m))
+	if s.Len() > 10 {
+		t.Fatalf("seen set grew to %d > limit", s.Len())
 	}
 	if !s.Check(1, 99) {
 		t.Fatal("just-inserted key not seen")

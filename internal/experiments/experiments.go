@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"wmsn/internal/metrics"
 	"wmsn/internal/runner"
 	"wmsn/internal/scenario"
 	"wmsn/internal/trace"
@@ -26,6 +27,12 @@ type Opts struct {
 	// either way — results are merged by submission index, not completion
 	// order.
 	Workers int
+	// Metrics, when non-nil, absorbs the merged end-to-end metrics of
+	// every scenario executed through the shared harness path (runConfigs),
+	// folded in submission order so the aggregate is identical at any
+	// worker count. Sweep jobs that drive scenarios inside custom per-job
+	// code (e.g. mid-run failure injection) are not captured.
+	Metrics *metrics.Aggregate
 }
 
 func (o Opts) seeds(def int) int {
@@ -54,8 +61,16 @@ func forEach[T any](o Opts, n int, job func(i int) T) []T {
 }
 
 // runConfigs executes scenario configs on the worker pool, in cfgs order.
+// When Opts.Metrics is set, every run's metrics fold into the aggregate in
+// cfgs order before the results are returned.
 func runConfigs(o Opts, cfgs []scenario.Config) []scenario.Result {
-	return scenario.RunMany(o.Workers, cfgs)
+	results := scenario.RunMany(o.Workers, cfgs)
+	if o.Metrics != nil {
+		for i := range results {
+			o.Metrics.Absorb(results[i].Metrics)
+		}
+	}
+	return results
 }
 
 // Experiment is one entry of the suite.

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"flag"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -160,5 +163,42 @@ func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
 	}
 	if len(seen) != 12 {
 		t.Fatalf("suite has %d experiments, want 12", len(seen))
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_quick.txt from current output")
+
+// TestGoldenOutputQuick pins the exact text of every experiment's quick
+// output against a committed golden file, so any refactor that perturbs
+// run ordering, RNG consumption, or table formatting is caught at test
+// time rather than by eyeballing wmsnbench diffs. Regenerate deliberately
+// with: go test ./internal/experiments -run GoldenOutput -update
+func TestGoldenOutputQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is a full quick suite")
+	}
+	var buf strings.Builder
+	for _, e := range All() {
+		fmt.Fprintf(&buf, "==== %s: %s ====\n", e.ID, e.Title)
+		for _, tbl := range e.Run(Opts{Quick: true}) {
+			buf.WriteString(tbl.String())
+			buf.WriteByte('\n')
+		}
+	}
+	got := buf.String()
+	const golden = "testdata/golden_quick.txt"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("quick output diverged from %s (run with -update to accept):\ngot %d bytes, want %d bytes",
+			golden, len(got), len(want))
 	}
 }

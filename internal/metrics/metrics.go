@@ -1,0 +1,399 @@
+// Package metrics is the observability layer shared by every protocol stack
+// in the simulator. It splits telemetry into a small Sink interface — the
+// packet-lifecycle events and named counters a protocol reports while
+// running — and Memory, the default in-memory implementation whose derived
+// statistics (delivery ratio, hop/latency distributions, per-gateway load)
+// the experiment harness reads after a run.
+//
+// Protocol code (internal/core, internal/baseline, internal/radio) holds a
+// Sink and never sees the concrete aggregation; the scenario layer owns one
+// Memory per run, and per-run Memory values merge deterministically (in
+// submission order) into an Aggregate, which serializes as a Snapshot for
+// structured export (wmsnbench -metrics-json).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Counter names one monotonically increasing protocol event stream. The set
+// is fixed at compile time so Memory can back every counter with a plain
+// uint64 field (hot-path increments stay a single add, no map lookups).
+type Counter uint8
+
+const (
+	DroppedNoRoute     Counter = iota // originations abandoned after failed discovery
+	DroppedQueue                      // originations rejected by a full queue
+	RReqSent                          // RREQ transmissions (incl. rebroadcasts)
+	RResSent                          // RRES transmissions (incl. forwards)
+	NotifySent                        // gateway movement notifications
+	AckSent                           // SecMLR acknowledgments
+	DataSent                          // data transmissions (incl. forwards)
+	Failovers                         // SecMLR route failovers after missing ACKs
+	AbandonedData                     // SecMLR data given up after exhausting routes
+	RejectedMAC                       // packets dropped for bad MACs
+	RejectedReplay                    // packets dropped for stale counters
+	ForwardNoEntry                    // data dropped mid-path: no table entry
+	ForwardTTLExpired                 // data dropped mid-path: TTL exhausted
+	ForwardSelfLoop                   // data dropped mid-path: malformed path
+	RadioTransmissions                // frames put on the air
+	RadioDeliveries                   // frame receptions delivered to a stack
+	RadioLost                         // frame receptions killed by random loss
+	RadioCollided                     // frame receptions killed by collision
+	RadioBytesOnAir                   // payload bytes transmitted
+	RadioBackoffs                     // CSMA backoff events
+	RadioDropped                      // frames abandoned after too many backoffs
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	DroppedNoRoute:     "dropped_no_route",
+	DroppedQueue:       "dropped_queue",
+	RReqSent:           "rreq_sent",
+	RResSent:           "rres_sent",
+	NotifySent:         "notify_sent",
+	AckSent:            "ack_sent",
+	DataSent:           "data_sent",
+	Failovers:          "failovers",
+	AbandonedData:      "abandoned_data",
+	RejectedMAC:        "rejected_mac",
+	RejectedReplay:     "rejected_replay",
+	ForwardNoEntry:     "forward_no_entry",
+	ForwardTTLExpired:  "forward_ttl_expired",
+	ForwardSelfLoop:    "forward_self_loop",
+	RadioTransmissions: "radio_transmissions",
+	RadioDeliveries:    "radio_deliveries",
+	RadioLost:          "radio_lost",
+	RadioCollided:      "radio_collided",
+	RadioBytesOnAir:    "radio_bytes_on_air",
+	RadioBackoffs:      "radio_backoffs",
+	RadioDropped:       "radio_dropped",
+}
+
+// String returns the stable snake_case name used in Snapshot JSON.
+func (c Counter) String() string {
+	if c < numCounters {
+		return counterNames[c]
+	}
+	return "unknown_counter"
+}
+
+// Sink receives telemetry from running protocol stacks. All implementations
+// may assume single-goroutine use: the simulation kernel is sequential, so
+// sinks need no locking. Methods must be cheap — they sit on the per-packet
+// hot path.
+type Sink interface {
+	// RecordGenerated notes a data packet leaving its origin.
+	RecordGenerated(origin packet.NodeID, seq uint32, now sim.Time)
+	// RecordDelivered notes a data packet accepted by gateway gw after the
+	// given hop count. Duplicate (origin, seq) deliveries must be counted
+	// as duplicates, not as fresh deliveries.
+	RecordDelivered(origin packet.NodeID, seq uint32, gw packet.NodeID, hops int, now sim.Time)
+	// Inc adds one to a named counter.
+	Inc(c Counter)
+	// Add adds n to a named counter.
+	Add(c Counter, n uint64)
+}
+
+// floodKey identifies a data packet per (origin, sequence).
+type floodKey struct {
+	origin packet.NodeID
+	seq    uint32
+}
+
+type pendingData struct {
+	at sim.Time
+}
+
+// Memory is the default Sink: it aggregates everything in memory and exposes
+// the derived statistics the experiment tables are built from. One Memory is
+// shared by every stack in a scenario run. The counter fields stay exported
+// so harness and test code can read totals directly; protocol code writes
+// them only through Inc/Add.
+type Memory struct {
+	Generated  uint64 // data packets originated by sensors
+	Delivered  uint64 // data packets accepted at a gateway
+	Duplicates uint64 // data packets delivered more than once
+
+	DroppedNoRoute uint64 // originations abandoned after failed discovery
+	DroppedQueue   uint64 // originations rejected by a full queue
+
+	RReqSent      uint64 // RREQ transmissions (incl. rebroadcasts)
+	RResSent      uint64 // RRES transmissions (incl. forwards)
+	NotifySent    uint64 // gateway movement notifications
+	AckSent       uint64 // SecMLR acknowledgments
+	DataSent      uint64 // data transmissions (incl. forwards)
+	Failovers     uint64 // SecMLR route failovers after missing ACKs
+	AbandonedData uint64 // SecMLR data given up after exhausting routes
+
+	RejectedMAC    uint64 // packets dropped for bad MACs
+	RejectedReplay uint64 // packets dropped for stale counters
+
+	ForwardNoEntry    uint64 // data dropped mid-path: no table entry
+	ForwardTTLExpired uint64 // data dropped mid-path: TTL exhausted
+	ForwardSelfLoop   uint64 // data dropped mid-path: malformed path
+
+	RadioTransmissions uint64 // frames put on the air
+	RadioDeliveries    uint64 // frame receptions delivered to a stack
+	RadioLost          uint64 // frame receptions killed by random loss
+	RadioCollided      uint64 // frame receptions killed by collision
+	RadioBytesOnAir    uint64 // payload bytes transmitted
+	RadioBackoffs      uint64 // CSMA backoff events
+	RadioDropped       uint64 // frames abandoned after too many backoffs
+
+	pending    map[floodKey]pendingData
+	latencies  []sim.Duration
+	hops       []int
+	perGateway map[packet.NodeID]uint64
+	delivered  map[floodKey]struct{}
+}
+
+var _ Sink = (*Memory)(nil)
+
+// New returns an empty in-memory sink.
+func New() *Memory {
+	return &Memory{
+		pending:    make(map[floodKey]pendingData),
+		perGateway: make(map[packet.NodeID]uint64),
+		delivered:  make(map[floodKey]struct{}),
+	}
+}
+
+// counterPtr maps a Counter to its backing field.
+func (m *Memory) counterPtr(c Counter) *uint64 {
+	switch c {
+	case DroppedNoRoute:
+		return &m.DroppedNoRoute
+	case DroppedQueue:
+		return &m.DroppedQueue
+	case RReqSent:
+		return &m.RReqSent
+	case RResSent:
+		return &m.RResSent
+	case NotifySent:
+		return &m.NotifySent
+	case AckSent:
+		return &m.AckSent
+	case DataSent:
+		return &m.DataSent
+	case Failovers:
+		return &m.Failovers
+	case AbandonedData:
+		return &m.AbandonedData
+	case RejectedMAC:
+		return &m.RejectedMAC
+	case RejectedReplay:
+		return &m.RejectedReplay
+	case ForwardNoEntry:
+		return &m.ForwardNoEntry
+	case ForwardTTLExpired:
+		return &m.ForwardTTLExpired
+	case ForwardSelfLoop:
+		return &m.ForwardSelfLoop
+	case RadioTransmissions:
+		return &m.RadioTransmissions
+	case RadioDeliveries:
+		return &m.RadioDeliveries
+	case RadioLost:
+		return &m.RadioLost
+	case RadioCollided:
+		return &m.RadioCollided
+	case RadioBytesOnAir:
+		return &m.RadioBytesOnAir
+	case RadioBackoffs:
+		return &m.RadioBackoffs
+	case RadioDropped:
+		return &m.RadioDropped
+	}
+	return nil
+}
+
+// Inc adds one to a named counter. Unknown counters are ignored.
+func (m *Memory) Inc(c Counter) {
+	if p := m.counterPtr(c); p != nil {
+		*p++
+	}
+}
+
+// Add adds n to a named counter. Unknown counters are ignored.
+func (m *Memory) Add(c Counter, n uint64) {
+	if p := m.counterPtr(c); p != nil {
+		*p += n
+	}
+}
+
+// Count returns the current value of a named counter (0 when unknown).
+func (m *Memory) Count(c Counter) uint64 {
+	if p := m.counterPtr(c); p != nil {
+		return *p
+	}
+	return 0
+}
+
+// RecordGenerated notes a data packet leaving its origin.
+func (m *Memory) RecordGenerated(origin packet.NodeID, seq uint32, now sim.Time) {
+	m.Generated++
+	m.pending[floodKey{origin, seq}] = pendingData{at: now}
+}
+
+// RecordDelivered notes a data packet accepted by gateway gw.
+func (m *Memory) RecordDelivered(origin packet.NodeID, seq uint32, gw packet.NodeID, hops int, now sim.Time) {
+	k := floodKey{origin, seq}
+	if _, dup := m.delivered[k]; dup {
+		m.Duplicates++
+		return
+	}
+	m.delivered[k] = struct{}{}
+	m.Delivered++
+	m.perGateway[gw]++
+	m.hops = append(m.hops, hops)
+	if p, ok := m.pending[k]; ok {
+		m.latencies = append(m.latencies, now-p.at)
+		delete(m.pending, k)
+	}
+}
+
+// Undelivered lists (origin, seq) pairs generated but never delivered, in
+// unspecified order — post-mortem debugging and loss analysis.
+func (m *Memory) Undelivered() [][2]uint64 {
+	out := make([][2]uint64, 0, len(m.pending))
+	for k := range m.pending {
+		out = append(out, [2]uint64{uint64(k.origin), uint64(k.seq)})
+	}
+	return out
+}
+
+// DeliveryRatio returns Delivered/Generated (1 when nothing was generated).
+func (m *Memory) DeliveryRatio() float64 {
+	if m.Generated == 0 {
+		return 1
+	}
+	return float64(m.Delivered) / float64(m.Generated)
+}
+
+// MeanHops returns the average hop count over delivered data.
+func (m *Memory) MeanHops() float64 {
+	if len(m.hops) == 0 {
+		return 0
+	}
+	total := 0
+	for _, h := range m.hops {
+		total += h
+	}
+	return float64(total) / float64(len(m.hops))
+}
+
+// MeanLatency returns the average origination-to-delivery latency.
+func (m *Memory) MeanLatency() sim.Duration {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, l := range m.latencies {
+		total += l
+	}
+	return total / sim.Duration(len(m.latencies))
+}
+
+// LatencyPercentile returns the p-th percentile latency. p is clamped to
+// [0, 100]: p <= 0 (and NaN) return the minimum sample, p >= 100 the
+// maximum. The zero duration is returned when nothing has been delivered.
+func (m *Memory) LatencyPercentile(p float64) sim.Duration {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	ls := append([]sim.Duration(nil), m.latencies...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	if math.IsNaN(p) || p <= 0 {
+		return ls[0]
+	}
+	if p >= 100 {
+		return ls[len(ls)-1]
+	}
+	idx := int(p / 100 * float64(len(ls)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ls) {
+		idx = len(ls) - 1
+	}
+	return ls[idx]
+}
+
+// DeliveredFrom returns how many distinct packets claiming the given origin
+// were accepted by gateways — the forged-data-accepted metric of the Sybil
+// experiment.
+func (m *Memory) DeliveredFrom(origin packet.NodeID) uint64 {
+	var n uint64
+	for k := range m.delivered {
+		if k.origin == origin {
+			n++
+		}
+	}
+	return n
+}
+
+// PerGateway returns deliveries per gateway ID (load-balance metric, E8).
+func (m *Memory) PerGateway() map[packet.NodeID]uint64 {
+	out := make(map[packet.NodeID]uint64, len(m.perGateway))
+	for k, v := range m.perGateway {
+		out[k] = v
+	}
+	return out
+}
+
+// GatewayLoadImbalance returns max/mean deliveries across gateways
+// (1 = perfectly balanced; 0 when no gateway delivered anything).
+func (m *Memory) GatewayLoadImbalance() float64 {
+	if len(m.perGateway) == 0 {
+		return 0
+	}
+	var max, total uint64
+	for _, v := range m.perGateway {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(m.perGateway))
+	return float64(max) / mean
+}
+
+// ControlPackets returns total control-plane transmissions.
+func (m *Memory) ControlPackets() uint64 {
+	return m.RReqSent + m.RResSent + m.NotifySent + m.AckSent
+}
+
+// Merge folds another run's totals into m: counters are summed, hop and
+// latency samples appended, per-gateway deliveries added per key. The
+// per-packet dedup state (pending/delivered keys) is deliberately NOT
+// merged — (origin, seq) pairs collide across independent runs, so only
+// aggregate counts are meaningful across run boundaries. Folding runs in a
+// fixed order yields identical aggregates regardless of how many workers
+// produced the inputs.
+func (m *Memory) Merge(o *Memory) {
+	if o == nil {
+		return
+	}
+	m.Generated += o.Generated
+	m.Delivered += o.Delivered
+	m.Duplicates += o.Duplicates
+	for c := Counter(0); c < numCounters; c++ {
+		*m.counterPtr(c) += *o.counterPtr(c)
+	}
+	m.latencies = append(m.latencies, o.latencies...)
+	m.hops = append(m.hops, o.hops...)
+	if m.perGateway == nil {
+		m.perGateway = make(map[packet.NodeID]uint64, len(o.perGateway))
+	}
+	for k, v := range o.perGateway {
+		m.perGateway[k] += v
+	}
+}

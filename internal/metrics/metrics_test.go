@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+func TestLatencyPercentileEmptyAndClamped(t *testing.T) {
+	m := New()
+	// No samples: every percentile is the zero duration, including the
+	// degenerate inputs that used to hit int(NaN) conversions.
+	for _, p := range []float64{-10, 0, 50, 100, 250, math.NaN()} {
+		if got := m.LatencyPercentile(p); got != 0 {
+			t.Fatalf("LatencyPercentile(%v) on empty = %v, want 0", p, got)
+		}
+	}
+
+	// Three samples recorded out of order: 30ms, 10ms, 20ms.
+	for i, d := range []sim.Duration{30, 10, 20} {
+		at := sim.Time(100 * i)
+		m.RecordGenerated(packet.NodeID(i+1), 1, at)
+		m.RecordDelivered(packet.NodeID(i+1), 1, packet.NodeID(9), 2, at+d*sim.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want sim.Duration
+	}{
+		{-5, 10 * sim.Millisecond},         // below range clamps to min
+		{0, 10 * sim.Millisecond},          // p=0 is the minimum sample
+		{50, 20 * sim.Millisecond},         // median
+		{100, 30 * sim.Millisecond},        // p=100 is the maximum sample
+		{400, 30 * sim.Millisecond},        // above range clamps to max
+		{math.NaN(), 10 * sim.Millisecond}, // NaN clamps to min, not a panic
+	}
+	for _, c := range cases {
+		if got := m.LatencyPercentile(c.p); got != c.want {
+			t.Fatalf("LatencyPercentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestGatewayLoadImbalanceZeroDeliveries(t *testing.T) {
+	m := New()
+	if got := m.GatewayLoadImbalance(); got != 0 {
+		t.Fatalf("imbalance with no gateways = %v, want 0", got)
+	}
+	// A gateway key with zero recorded deliveries must not divide by zero.
+	m.perGateway[packet.NodeID(1)] = 0
+	m.perGateway[packet.NodeID(2)] = 0
+	if got := m.GatewayLoadImbalance(); got != 0 {
+		t.Fatalf("imbalance with all-zero gateways = %v, want 0", got)
+	}
+	m.perGateway[packet.NodeID(2)] = 6
+	if got := m.GatewayLoadImbalance(); got != 2 {
+		t.Fatalf("imbalance = %v, want 2 (max 6 / mean 3)", got)
+	}
+}
+
+func TestEmptyStatHelpers(t *testing.T) {
+	m := New()
+	if r := m.DeliveryRatio(); r != 1 {
+		t.Fatalf("DeliveryRatio with nothing generated = %v, want 1", r)
+	}
+	if h := m.MeanHops(); h != 0 {
+		t.Fatalf("MeanHops with no deliveries = %v, want 0", h)
+	}
+	if l := m.MeanLatency(); l != 0 {
+		t.Fatalf("MeanLatency with no deliveries = %v, want 0", l)
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	m := New()
+	m.RecordGenerated(1, 7, 0)
+	m.RecordDelivered(1, 7, 100, 3, 5*sim.Millisecond)
+	m.RecordDelivered(1, 7, 101, 4, 6*sim.Millisecond)
+	if m.Delivered != 1 || m.Duplicates != 1 {
+		t.Fatalf("delivered=%d duplicates=%d, want 1/1", m.Delivered, m.Duplicates)
+	}
+	if n := m.DeliveredFrom(1); n != 1 {
+		t.Fatalf("DeliveredFrom = %d, want 1", n)
+	}
+}
+
+func TestIncAddCountRoundTrip(t *testing.T) {
+	m := New()
+	for c := Counter(0); c < numCounters; c++ {
+		m.Inc(c)
+		m.Add(c, 2)
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if got := m.Count(c); got != 3 {
+			t.Fatalf("Count(%v) = %d, want 3", c, got)
+		}
+	}
+	// Every counter has a distinct backing field and a distinct name.
+	names := map[string]bool{}
+	for _, n := range CounterNames() {
+		if n == "" || names[n] {
+			t.Fatalf("counter name %q missing or duplicated", n)
+		}
+		names[n] = true
+	}
+	// Out-of-range counters are ignored, not a panic.
+	m.Inc(numCounters + 5)
+	if got := m.Count(numCounters + 5); got != 0 {
+		t.Fatalf("unknown counter Count = %d, want 0", got)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	mk := func(seqBase uint32) *Memory {
+		m := New()
+		m.Inc(DataSent)
+		m.Add(RReqSent, 4)
+		m.RecordGenerated(3, seqBase, 0)
+		m.RecordDelivered(3, seqBase, 200, 2, 10*sim.Millisecond)
+		return m
+	}
+	// Two runs that reuse the same (origin, seq) keys: the merge must keep
+	// both deliveries (counts are summed, dedup maps are not merged).
+	a, b := mk(1), mk(1)
+	var total Memory
+	total.Merge(a)
+	total.Merge(b)
+	if total.Delivered != 2 || total.Generated != 2 {
+		t.Fatalf("merged delivered=%d generated=%d, want 2/2", total.Delivered, total.Generated)
+	}
+	if total.DataSent != 2 || total.RReqSent != 8 {
+		t.Fatalf("merged DataSent=%d RReqSent=%d, want 2/8", total.DataSent, total.RReqSent)
+	}
+	if got := total.PerGateway()[packet.NodeID(200)]; got != 2 {
+		t.Fatalf("merged per-gateway = %d, want 2", got)
+	}
+	if got := total.MeanHops(); got != 2 {
+		t.Fatalf("merged MeanHops = %v, want 2", got)
+	}
+	total.Merge(nil) // no-op, not a panic
+
+	// Aggregates folding the same inputs in the same order are identical.
+	agg1, agg2 := NewAggregate(), NewAggregate()
+	for _, m := range []*Memory{a, b} {
+		agg1.Absorb(m)
+		agg2.Absorb(m)
+	}
+	s1, _ := json.Marshal(agg1.Snapshot())
+	s2, _ := json.Marshal(agg2.Snapshot())
+	if string(s1) != string(s2) {
+		t.Fatalf("aggregate snapshots differ:\n%s\n%s", s1, s2)
+	}
+	if agg1.Runs() != 2 {
+		t.Fatalf("Runs = %d, want 2", agg1.Runs())
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	m := New()
+	m.RecordGenerated(5, 1, 0)
+	m.RecordDelivered(5, 1, 300, 3, 20*sim.Millisecond)
+	m.Inc(DataSent)
+	s := m.Snapshot()
+	if s.DeliveryRatio != 1 || s.MeanHops != 3 || s.MeanLatencyMS != 20 {
+		t.Fatalf("snapshot stats wrong: %+v", s)
+	}
+	if s.Counters["data_sent"] != 1 {
+		t.Fatalf("snapshot counters = %v", s.Counters)
+	}
+	if s.PerGateway["n300"] != 1 {
+		t.Fatalf("snapshot per-gateway = %v", s.PerGateway)
+	}
+	if _, ok := s.Counters["rreq_sent"]; ok {
+		t.Fatal("zero counters must be omitted from the snapshot")
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package packet
+
+// DedupeKey identifies a flooded packet per (origin, sequence) — the pair
+// every flooding-style protocol in this codebase suppresses duplicates on.
+type DedupeKey struct {
+	Origin NodeID
+	Seq    uint32
+}
+
+// Dedupe is the shared duplicate-suppression set used by the core protocols
+// (SPR/MLR/SecMLR flood forwarding) and the flat baselines. It replaces the
+// per-protocol `seen map[uint64]struct{}` bookkeeping that used to be
+// re-implemented in every stack.
+//
+// When constructed with a positive limit the set is memory-bounded: on
+// overflow it is dropped wholesale and restarted, which can briefly
+// re-admit old duplicates — acceptable for flood suppression because the
+// TTL kills stragglers anyway.
+type Dedupe struct {
+	seen  map[DedupeKey]struct{}
+	limit int
+}
+
+// NewDedupe returns an empty set. limit <= 0 means unbounded.
+func NewDedupe(limit int) *Dedupe {
+	return &Dedupe{seen: make(map[DedupeKey]struct{}), limit: limit}
+}
+
+// Check records (origin, seq) and reports whether it was already present.
+func (d *Dedupe) Check(origin NodeID, seq uint32) bool {
+	k := DedupeKey{origin, seq}
+	if _, ok := d.seen[k]; ok {
+		return true
+	}
+	if d.limit > 0 && len(d.seen) >= d.limit {
+		// Bounded memory: drop everything; duplicates re-suppressed by TTL.
+		d.seen = make(map[DedupeKey]struct{})
+	}
+	d.seen[k] = struct{}{}
+	return false
+}
+
+// Len returns how many distinct keys are currently tracked.
+func (d *Dedupe) Len() int { return len(d.seen) }

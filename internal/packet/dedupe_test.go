@@ -1,0 +1,54 @@
+package packet
+
+import "testing"
+
+func TestDedupeCheck(t *testing.T) {
+	d := NewDedupe(0)
+	if d.Check(1, 1) {
+		t.Fatal("first sighting reported as duplicate")
+	}
+	if !d.Check(1, 1) {
+		t.Fatal("second sighting not reported as duplicate")
+	}
+	// Distinct origin or seq is a distinct key.
+	if d.Check(2, 1) || d.Check(1, 2) {
+		t.Fatal("distinct keys reported as duplicates")
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestDedupeBoundedReset(t *testing.T) {
+	d := NewDedupe(4)
+	for seq := uint32(0); seq < 4; seq++ {
+		d.Check(1, seq)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	// The 5th distinct key overflows the bound: the set resets and keeps
+	// only the newcomer...
+	if d.Check(1, 4) {
+		t.Fatal("newcomer after reset reported as duplicate")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len after reset = %d, want 1", d.Len())
+	}
+	// ...so an old key is (by design) re-admitted once.
+	if d.Check(1, 0) {
+		t.Fatal("bounded reset should forget old keys")
+	}
+}
+
+func TestDedupeUnbounded(t *testing.T) {
+	d := NewDedupe(0)
+	for seq := uint32(0); seq < 10000; seq++ {
+		if d.Check(7, seq) {
+			t.Fatalf("seq %d reported as duplicate", seq)
+		}
+	}
+	if d.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000 (no reset when unbounded)", d.Len())
+	}
+}

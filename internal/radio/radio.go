@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"wmsn/internal/geom"
+	"wmsn/internal/metrics"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -45,6 +46,11 @@ type Config struct {
 	// BackoffWindow is the maximum random defer per attempt; 0 selects
 	// 4 ms.
 	BackoffWindow sim.Duration
+	// Metrics, when non-nil, receives every medium event (transmissions,
+	// deliveries, losses, collisions, CSMA activity) as Radio* counters in
+	// addition to the medium's own Stats. Leave nil to keep the hot path
+	// branch-free of telemetry.
+	Metrics metrics.Sink
 }
 
 // SensorRadio is an 802.15.4-flavored configuration for the sensor layer.
@@ -192,6 +198,13 @@ func (m *Medium) putDelivery(d *delivery) {
 
 // Stats returns a snapshot of medium counters.
 func (m *Medium) Stats() Stats { return m.stats }
+
+// report mirrors a stats increment to the optional metrics sink.
+func (m *Medium) report(c metrics.Counter, n uint64) {
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.Add(c, n)
+	}
+}
 
 // Airtime returns how long a packet of size bytes occupies the channel.
 func (m *Medium) Airtime(sizeBytes int) sim.Duration {
@@ -363,9 +376,11 @@ func (m *Medium) transmitCSMA(from *Station, pkt *packet.Packet, attempt int) {
 	if m.carrierBusy(from) {
 		if attempt >= maxB {
 			m.stats.CSMADropped++
+			m.report(metrics.RadioDropped, 1)
 			return
 		}
 		m.stats.Backoffs++
+		m.report(metrics.RadioBackoffs, 1)
 		delay := 1 + sim.Duration(m.k.Rand().Int63n(int64(window)))
 		m.k.After(delay, func() { m.transmitCSMA(from, pkt, attempt+1) })
 		return
@@ -376,6 +391,8 @@ func (m *Medium) transmitCSMA(from *Station, pkt *packet.Packet, attempt int) {
 func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 	m.stats.Transmissions++
 	m.stats.BytesOnAir += uint64(pkt.Size())
+	m.report(metrics.RadioTransmissions, 1)
+	m.report(metrics.RadioBytesOnAir, uint64(pkt.Size()))
 	airtime := m.Airtime(pkt.Size())
 	start := m.k.Now()
 	end := start + airtime + m.cfg.PropDelay
@@ -389,6 +406,7 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 		}
 		if m.cfg.LossRate > 0 && m.k.Rand().Float64() < m.cfg.LossRate {
 			m.stats.Lost++
+			m.report(metrics.RadioLost, 1)
 			continue
 		}
 		d := m.getDelivery()
@@ -399,6 +417,7 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 				if prev.end > start && !prev.corrupted {
 					prev.corrupted = true
 					m.stats.Collided++
+					m.report(metrics.RadioCollided, 1)
 				}
 				if prev.end > start {
 					d.corrupted = true
@@ -406,6 +425,7 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 			}
 			if d.corrupted {
 				m.stats.Collided++
+				m.report(metrics.RadioCollided, 1)
 			}
 			st.pending = append(st.pending, d)
 		}
@@ -437,5 +457,6 @@ func (m *Medium) deliver(d *delivery) {
 		return
 	}
 	m.stats.Deliveries++
+	m.report(metrics.RadioDeliveries, 1)
 	st.handler(pkt)
 }

@@ -71,3 +71,16 @@ func Map[T any](workers, n int, fn func(int) T) []T {
 	wg.Wait()
 	return out
 }
+
+// MapReduce runs fn(i) for every i in [0,n) on at most workers goroutines
+// and folds the results into acc in submission order: acc = fold(acc,
+// out[0]), then out[1], and so on. The fold runs on the caller's goroutine
+// after every job completes, so the reduction is deterministic regardless
+// of worker count or completion order — the property the metrics pipeline
+// relies on when merging per-run snapshots.
+func MapReduce[T, R any](workers, n int, fn func(int) T, acc R, fold func(R, T) R) R {
+	for _, v := range Map(workers, n, fn) {
+		acc = fold(acc, v)
+	}
+	return acc
+}

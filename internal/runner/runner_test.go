@@ -104,3 +104,24 @@ func TestResolve(t *testing.T) {
 		t.Fatalf("Resolve(5) = %d, want 5", got)
 	}
 }
+
+func TestMapReduceFoldsInSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		got := MapReduce(workers, 20,
+			func(i int) int { return i },
+			[]int(nil),
+			func(acc []int, v int) []int { return append(acc, v) })
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: fold order broken at %d: %v", workers, i, got)
+			}
+		}
+		// A non-commutative fold gives the same answer at any width.
+		s := MapReduce(workers, 10,
+			func(i int) string { return string(rune('a' + i)) },
+			"", func(acc, v string) string { return acc + v })
+		if s != "abcdefghij" {
+			t.Fatalf("workers=%d: fold = %q", workers, s)
+		}
+	}
+}

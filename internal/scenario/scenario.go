@@ -14,34 +14,34 @@ import (
 	"wmsn/internal/geom"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
-	"wmsn/internal/placement"
+	"wmsn/internal/protocol"
 	"wmsn/internal/radio"
 	"wmsn/internal/runner"
 	"wmsn/internal/sensing"
 	"wmsn/internal/sim"
 )
 
-// Protocol selects the routing protocol under test.
-type Protocol string
+// Protocol selects the routing protocol under test. It aliases protocol.ID:
+// any Builder registered with the protocol registry — including ones added
+// by external packages or tests — can be named here.
+type Protocol = protocol.ID
 
-// Supported protocols.
+// The built-in protocols, re-exported for convenience.
 const (
-	SPR       Protocol = "spr"       // §5.2, multi-gateway shortest path
-	MLR       Protocol = "mlr"       // §5.3, lifetime-maximizing rounds
-	SecMLR    Protocol = "secmlr"    // §6.2, secured MLR
-	Flooding  Protocol = "flooding"  // flat baseline
-	Gossiping Protocol = "gossiping" // flat baseline
-	Direct    Protocol = "direct"    // single-hop baseline
-	MCFA      Protocol = "mcfa"      // cost-field baseline
-	LEACH     Protocol = "leach"     // cluster baseline
-	PEGASIS   Protocol = "pegasis"   // chain baseline
-	SPIN      Protocol = "spin"      // negotiation baseline
+	SPR       = protocol.SPR       // §5.2, multi-gateway shortest path
+	MLR       = protocol.MLR       // §5.3, lifetime-maximizing rounds
+	SecMLR    = protocol.SecMLR    // §6.2, secured MLR
+	Flooding  = protocol.Flooding  // flat baseline
+	Gossiping = protocol.Gossiping // flat baseline
+	Direct    = protocol.Direct    // single-hop baseline
+	MCFA      = protocol.MCFA      // cost-field baseline
+	LEACH     = protocol.LEACH     // cluster baseline
+	PEGASIS   = protocol.PEGASIS   // chain baseline
+	SPIN      = protocol.SPIN      // negotiation baseline
 )
 
 // Originator is any sensor stack that can produce a reading.
-type Originator interface {
-	OriginateData(payload []byte)
-}
+type Originator = protocol.Originator
 
 // Config describes one experiment run. Zero fields take defaults from
 // Defaults.
@@ -197,10 +197,18 @@ type Net struct {
 // sensor count so scenario IDs never collide.
 func GatewayID(i int) packet.NodeID { return packet.NodeID(1_000_000 + i) }
 
-// Build constructs the network for cfg without starting traffic.
+// Build constructs the network for cfg without starting traffic. The
+// protocol is resolved through the protocol registry; Build panics when no
+// Builder is registered under cfg.Protocol or the Builder rejects the
+// configuration (e.g. no feasible round schedule exists).
 func Build(cfg Config) *Net {
 	cfg = Defaults(cfg)
+	b, ok := protocol.Lookup(cfg.Protocol)
+	if !ok {
+		panic(fmt.Sprintf("scenario: unknown protocol %q", cfg.Protocol))
+	}
 	region := geom.Square(cfg.Side)
+	m := core.NewMetrics()
 	w := node.NewWorld(node.Config{
 		Seed: cfg.Seed,
 		SensorRadio: radio.Config{
@@ -209,24 +217,26 @@ func Build(cfg Config) *Net {
 			LossRate:   cfg.LossRate,
 			Collisions: cfg.Collisions,
 			CSMA:       cfg.CSMA,
+			Metrics:    m,
 		},
 		EnergyModel:   cfg.EnergyModel,
 		SensorBattery: cfg.SensorBattery,
 	})
 	n := &Net{
-		Cfg:         cfg,
-		World:       w,
-		Metrics:     core.NewMetrics(),
-		Region:      region,
-		Originators: make(map[packet.NodeID]Originator),
+		Cfg:     cfg,
+		World:   w,
+		Metrics: m,
+		Region:  region,
 	}
 	sensors := cfg.Deploy.Deploy(cfg.NumSensors, region, w.Kernel().Rand())
 
-	// Feasible places / gateway positions.
+	// Feasible places / gateway positions. Mobility protocols default to
+	// twice as many feasible places as gateways so rotation has somewhere
+	// to go (§5.3); everyone else gets one place per gateway.
 	n.Places = cfg.Places
 	if len(n.Places) == 0 {
 		numPlaces := cfg.NumGateways
-		if cfg.Protocol == MLR || cfg.Protocol == SecMLR {
+		if b.Caps.MobilityRounds {
 			numPlaces = 2 * cfg.NumGateways
 		}
 		n.Places = geom.PlaceGrid(numPlaces, region)
@@ -249,151 +259,35 @@ func Build(cfg Config) *Net {
 		}
 		return st
 	}
-	switch cfg.Protocol {
-	case SPR:
-		for i, pos := range sensors {
-			st := core.NewSPRSensor(params, n.Metrics)
-			n.Originators[n.SensorIDs[i]] = st
-			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, wrap(n.SensorIDs[i], st))
-		}
-		for i, id := range n.GatewayIDs {
-			w.AddGateway(id, n.Places[i%len(n.Places)], cfg.SensorRange, 500, core.NewSPRGateway(params, n.Metrics))
-		}
-
-	case MLR, SecMLR:
-		schedule := cfg.Schedule
-		if schedule == nil {
-			schedule = placement.RotationSchedule(len(n.Places), cfg.NumGateways, cfg.Rounds)
-		}
-		if schedule == nil {
-			panic(fmt.Sprintf("scenario: cannot build schedule for %d gateways over %d places",
-				cfg.NumGateways, len(n.Places)))
-		}
-		var sKeys map[packet.NodeID]*core.SensorKeys
-		var gKeys map[packet.NodeID]*core.GatewayKeys
-		if cfg.Protocol == SecMLR {
-			sKeys, gKeys = core.ProvisionKeys([]byte("scenario-master"), n.SensorIDs, n.GatewayIDs, cfg.Rounds+8)
-		}
-		for i, pos := range sensors {
-			id := n.SensorIDs[i]
-			var st node.Stack
-			if cfg.Protocol == SecMLR {
-				sec := core.NewSecMLRSensor(params, n.Metrics, sKeys[id])
-				n.Originators[id] = sec
-				st = sec
-			} else {
-				mlr := core.NewMLRSensor(params, n.Metrics)
-				n.Originators[id] = mlr
-				st = mlr
-			}
-			w.AddSensor(id, pos, cfg.SensorRange, 0, wrap(id, st))
-		}
-		for i, id := range n.GatewayIDs {
-			var st node.Stack
-			if cfg.Protocol == SecMLR {
-				st = core.NewSecMLRGateway(params, n.Metrics, gKeys[id])
-			} else {
-				st = core.NewMLRGateway(params, n.Metrics)
-			}
-			w.AddGateway(id, n.Places[schedule[0][i]], cfg.SensorRange, 500, st)
-		}
-		n.Rounds = &core.Rounds{World: w, Places: n.Places, Gateways: n.GatewayIDs,
-			RoundLen: cfg.RoundLen, Schedule: schedule}
-		n.Rounds.Start()
-
-	case Flooding:
-		for i, pos := range sensors {
-			st := baseline.NewFlooding(n.Metrics, params.TTL)
-			n.Originators[n.SensorIDs[i]] = st
-			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
-		}
-		n.addFlatSinks(cfg)
-
-	case Gossiping:
-		for i, pos := range sensors {
-			st := baseline.NewGossiping(n.Metrics, 255)
-			n.Originators[n.SensorIDs[i]] = st
-			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
-		}
-		n.addFlatSinks(cfg)
-
-	case Direct:
-		sinkPos := n.Places[0]
-		for i, pos := range sensors {
-			st := baseline.NewDirect(n.Metrics, GatewayID(0), pos.Dist(sinkPos))
-			n.Originators[n.SensorIDs[i]] = st
-			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
-		}
-		n.addFlatSinks(cfg)
-
-	case MCFA:
-		for i, pos := range sensors {
-			st := baseline.NewMCFA(n.Metrics, params.TTL)
-			n.Originators[n.SensorIDs[i]] = st
-			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
-		}
-		w.AddGateway(GatewayID(0), n.Places[0], cfg.SensorRange, 500,
-			baseline.NewMCFASink(n.Metrics, params.TTL))
-
-	case PEGASIS:
-		sinkPos := geom.Point{X: cfg.Side / 2, Y: cfg.Side + 50} // off-field sink, as in the PEGASIS paper
-		pos := make(map[packet.NodeID]geom.Point, len(sensors))
-		for i, p := range sensors {
-			pos[n.SensorIDs[i]] = p
-		}
-		chain := baseline.NewPegasisChain(GatewayID(0), sinkPos, pos)
-		for i, p := range sensors {
-			id := n.SensorIDs[i]
-			st := baseline.NewPEGASIS(n.Metrics, chain)
-			n.Originators[id] = st
-			w.AddSensor(id, p, cfg.SensorRange, 0, wrap(id, st))
-		}
-		w.AddGateway(GatewayID(0), sinkPos, 10*cfg.Side, 500, baseline.NewLEACHSink(n.Metrics))
-		// Sweep once per reporting cycle: each token carries one reading per
-		// node, as in the original protocol (sweeping slower would balloon
-		// the token and stretch a single sweep past the round).
-		n.PegasisRounds = &baseline.PegasisRounds{World: w, Chain: chain, RoundLen: cfg.ReportInterval}
-		n.PegasisRounds.Start()
-
-	case SPIN:
-		for i, p := range sensors {
-			id := n.SensorIDs[i]
-			st := baseline.NewSPIN(n.Metrics)
-			n.Originators[id] = st
-			w.AddSensor(id, p, cfg.SensorRange, 0, wrap(id, st))
-		}
-		w.AddGateway(GatewayID(0), n.Places[0], cfg.SensorRange, 500, baseline.NewSPINSink(n.Metrics))
-
-	case LEACH:
-		sinkPos := geom.Point{X: cfg.Side / 2, Y: cfg.Side + 50} // off-field sink, per LEACH evaluations
-		var stacks []*baseline.LEACH
-		for i, pos := range sensors {
-			st := baseline.NewLEACH(n.Metrics, cfg.LEACHProb, GatewayID(0), sinkPos, cfg.SensorRange*2)
-			n.Originators[n.SensorIDs[i]] = st
-			stacks = append(stacks, st)
-			w.AddSensor(n.SensorIDs[i], pos, cfg.SensorRange, 0, st)
-		}
-		w.AddGateway(GatewayID(0), sinkPos, 10*cfg.Side, 500, baseline.NewLEACHSink(n.Metrics))
-		n.LEACHRounds = &baseline.LEACHRounds{World: w, Stacks: stacks, RoundLen: cfg.RoundLen}
-		n.LEACHRounds.Start()
-
-	default:
-		panic(fmt.Sprintf("scenario: unknown protocol %q", cfg.Protocol))
+	inst, err := b.Build(&protocol.Env{
+		World:          w,
+		Metrics:        n.Metrics,
+		Params:         params,
+		SensorIDs:      n.SensorIDs,
+		SensorPos:      sensors,
+		GatewayIDs:     n.GatewayIDs,
+		Places:         n.Places,
+		Schedule:       cfg.Schedule,
+		Rounds:         cfg.Rounds,
+		RoundLen:       cfg.RoundLen,
+		ReportInterval: cfg.ReportInterval,
+		LEACHProb:      cfg.LEACHProb,
+		SensorRange:    cfg.SensorRange,
+		Side:           cfg.Side,
+		Wrap:           wrap,
+	})
+	if err != nil {
+		panic("scenario: " + err.Error())
 	}
+	n.Originators = inst.Originators
+	n.Rounds = inst.Rounds
+	n.LEACHRounds = inst.LEACHRounds
+	n.PegasisRounds = inst.PegasisRounds
 
 	if cfg.Mutate != nil {
 		cfg.Mutate(n)
 	}
 	return n
-}
-
-// addFlatSinks installs plain sinks at the first NumGateways places
-// (baselines normally run with NumGateways=1, the flat architecture).
-func (n *Net) addFlatSinks(cfg Config) {
-	for i, id := range n.GatewayIDs {
-		n.World.AddGateway(id, n.Places[i%len(n.Places)], cfg.SensorRange, 500,
-			baseline.NewSink(n.Metrics))
-	}
 }
 
 // StartTraffic schedules the reporting workload: unconditional periodic

@@ -194,3 +194,24 @@ func Ratio(a, b uint64) string {
 	}
 	return fmt.Sprintf("%.1f%%", 100*float64(a)/float64(b))
 }
+
+// TableData is the structured (JSON-serializable) form of a Table, used by
+// the -metrics-json export so downstream tooling gets the same data the
+// aligned text rendering shows.
+type TableData struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// Data returns a deep copy of the table's content in structured form.
+func (t *Table) Data() TableData {
+	d := TableData{Title: t.Title}
+	d.Headers = append(d.Headers, t.headers...)
+	for _, row := range t.rows {
+		d.Rows = append(d.Rows, append([]string(nil), row...))
+	}
+	d.Notes = append(d.Notes, t.notes...)
+	return d
+}

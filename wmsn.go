@@ -39,10 +39,12 @@ import (
 	"wmsn/internal/experiments"
 	"wmsn/internal/geom"
 	"wmsn/internal/mesh"
+	"wmsn/internal/metrics"
 	"wmsn/internal/network"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
 	"wmsn/internal/placement"
+	"wmsn/internal/protocol"
 	"wmsn/internal/scenario"
 	"wmsn/internal/sensing"
 	"wmsn/internal/sim"
@@ -101,6 +103,47 @@ const (
 	PEGASIS   = scenario.PEGASIS
 	SPIN      = scenario.SPIN
 )
+
+// Protocol registry: external packages plug new routing protocols into the
+// scenario/experiment machinery by registering a builder (typically from an
+// init function), then referencing its ID in Config.Protocol.
+type (
+	// ProtocolBuilder is a named protocol factory plus its capability set.
+	ProtocolBuilder = protocol.Builder
+	// ProtocolEnv is the prepared world a builder instantiates into.
+	ProtocolEnv = protocol.Env
+	// ProtocolInstance is what a builder hands back to the scenario.
+	ProtocolInstance = protocol.Instance
+	// ProtocolCapabilities describes what a protocol supports.
+	ProtocolCapabilities = protocol.Capabilities
+	// Originator is any sensor stack that can produce a reading.
+	Originator = protocol.Originator
+)
+
+// RegisterProtocol adds a protocol builder to the registry. It panics on an
+// empty ID, nil build function, or duplicate registration.
+func RegisterProtocol(b ProtocolBuilder) { protocol.Register(b) }
+
+// RegisteredProtocols lists every registered protocol ID in sorted order.
+func RegisteredProtocols() []Protocol { return protocol.IDs() }
+
+// Metrics pipeline: every protocol reports through the MetricsSink
+// interface; MetricsSnapshot is the JSON-serializable summary of a run (or
+// a merged aggregate of many runs, see MetricsAggregate).
+type (
+	// MetricsSink receives lifecycle events and counters from protocol and
+	// radio layers.
+	MetricsSink = metrics.Sink
+	// MetricsCounter names one event counter.
+	MetricsCounter = metrics.Counter
+	// MetricsSnapshot is the serializable summary of collected metrics.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsAggregate deterministically folds the metrics of many runs.
+	MetricsAggregate = metrics.Aggregate
+)
+
+// NewMetricsAggregate returns an empty deterministic multi-run aggregate.
+func NewMetricsAggregate() *MetricsAggregate { return metrics.NewAggregate() }
 
 // Sensing: the synthetic environment and TEEN threshold reporting.
 type (
