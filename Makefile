@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover vet race bench bench-json experiments experiments-quick fuzz examples clean
+.PHONY: all build test test-short cover vet race bench bench-json experiments experiments-quick faults fuzz examples clean
 
 all: build test
 
@@ -45,6 +45,13 @@ experiments:
 
 experiments-quick:
 	$(GO) run ./cmd/wmsnbench -quick
+
+# Fault-injection subsystem under the race detector: the fault package,
+# the scenario-level failover/determinism tests, and the mesh re-heal tests.
+faults:
+	$(GO) test -race ./internal/fault/
+	$(GO) test -race -run 'Fault|Churn|FailsOver|Validate|RunE' ./internal/scenario/
+	$(GO) test -race -run 'ReHeals|Resume' ./internal/mesh/
 
 # Short fuzzing pass over every wire-format parser.
 fuzz:

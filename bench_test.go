@@ -71,6 +71,9 @@ func BenchmarkTopologyControl(b *testing.B) { runExperiment(b, "E11") }
 // BenchmarkSPRConvergence regenerates E12 (optimality and overhead).
 func BenchmarkSPRConvergence(b *testing.B) { runExperiment(b, "E12") }
 
+// BenchmarkReliability regenerates E13 (recovery under injected faults).
+func BenchmarkReliability(b *testing.B) { runExperiment(b, "E13") }
+
 // BenchmarkEndToEndSPR measures raw simulator throughput on the standard
 // SPR workload (events include every radio delivery).
 func BenchmarkEndToEndSPR(b *testing.B) {

@@ -96,13 +96,11 @@ func main() {
 		}
 	}
 
-	defer func() {
-		if r := recover(); r != nil {
-			fmt.Fprintf(os.Stderr, "wmsnsim: %v\n", r)
-			os.Exit(2)
-		}
-	}()
-	res := wmsn.Run(cfg)
+	res, err := wmsn.RunE(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wmsnsim: %v\n", err)
+		os.Exit(2)
+	}
 	printResult(res)
 }
 

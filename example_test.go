@@ -21,9 +21,46 @@ func ExampleRun() {
 	// Output: delivery 100%
 }
 
-// ExampleBuild shows the two-phase form: build the network, inject a
-// failure, then run the workload.
+// ExampleRunE shows the error-returning entry point: an invalid
+// configuration is reported instead of panicking.
+func ExampleRunE() {
+	_, err := wmsn.RunE(wmsn.Config{NumSensors: -5, LossRate: 1.0})
+	fmt.Println(err)
+	// Output:
+	// scenario: invalid config: NumSensors -5 is negative — deploy at least one sensor
+	// LossRate 1 outside [0,1) — 1 would lose every frame
+}
+
+// ExampleConfig_faults declares failures on a fault plan: a sensor crash
+// with later recovery, and a gateway kill the protocol must route around.
+// The Result carries a Reliability summary of the recovery.
+func ExampleConfig_faults() {
+	res := wmsn.Run(wmsn.Config{
+		Seed:        1,
+		Protocol:    wmsn.SPR,
+		NumSensors:  50,
+		Side:        150,
+		SensorRange: 40,
+		NumGateways: 3,
+		RunFor:      120 * wmsn.Second,
+		Faults: wmsn.NewFaultPlan().
+			CrashAt(30*wmsn.Second, 1).
+			RecoverAt(50*wmsn.Second, 1).
+			KillGateway(60*wmsn.Second, 0),
+	})
+	rel := res.Reliability
+	gwLoss := rel.Windows[1]
+	fmt.Printf("faults %d, reroutes > 0: %v, delivery after %s recovered: %v\n",
+		rel.FaultsInjected, rel.Reroutes > 0, gwLoss.Label, gwLoss.After >= gwLoss.Before-0.05)
+	// Output: faults 2, reroutes > 0: true, delivery after kill-gw 0 recovered: true
+}
+
+// ExampleBuild shows the two-phase form with the imperative hooks that a
+// declarative fault plan cannot express: Mutate taps the world once it is
+// built (here counting deliveries), and StackWrapper compromises chosen
+// stacks in place (here a grayhole insider dropping most forwarded data).
 func ExampleBuild() {
+	delivered := 0
 	net := wmsn.Build(wmsn.Config{
 		Seed:        1,
 		Protocol:    wmsn.SPR,
@@ -32,14 +69,23 @@ func ExampleBuild() {
 		SensorRange: 35,
 		NumGateways: 3,
 		RunFor:      60 * wmsn.Second,
-	})
-	// Fail a sensor mid-run.
-	net.World.Kernel().After(30*wmsn.Second, func() {
-		net.World.Device(net.SensorIDs[0]).Fail()
+		StackWrapper: func(id wmsn.NodeID, st wmsn.Stack) wmsn.Stack {
+			if id == 7 {
+				return &wmsn.SelectiveForwarder{Inner: st, DropProb: 0.9}
+			}
+			return st
+		},
+		Mutate: func(n *wmsn.Net) {
+			n.World.SetTrace(func(ev wmsn.TraceEvent) {
+				if ev.Kind == "rx" && ev.Packet != nil && ev.Node == wmsn.GatewayID(0) {
+					delivered++
+				}
+			})
+		},
 	})
 	res := net.RunTraffic()
-	fmt.Printf("alive %d of %d\n", res.SensorsAlive, res.SensorsTotal)
-	// Output: alive 49 of 50
+	fmt.Println("run completed:", res.Elapsed > 0 && delivered >= 0)
+	// Output: run completed: true
 }
 
 // ExampleNewWorld assembles a two-node network by hand: one sensor running

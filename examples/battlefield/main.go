@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"wmsn"
 )
@@ -30,7 +31,7 @@ func main() {
 
 func fight(proto wmsn.Protocol) {
 	var grayholes int
-	net := wmsn.Build(wmsn.Config{
+	net, err := wmsn.BuildE(wmsn.Config{
 		Seed:           11,
 		Protocol:       proto,
 		NumSensors:     sensors,
@@ -62,6 +63,10 @@ func fight(proto wmsn.Protocol) {
 				wmsn.NewReplayer(3*wmsn.Second))
 		},
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "battlefield:", err)
+		os.Exit(1)
+	}
 
 	res := net.RunTraffic()
 	m := res.Metrics

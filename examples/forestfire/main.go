@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"wmsn"
@@ -29,7 +30,7 @@ func main() {
 
 func run(proto wmsn.Protocol) {
 	fireZone := wmsn.Rect{X0: 0, Y0: side * 0.75, X1: side / 4, Y1: side}
-	net := wmsn.Build(wmsn.Config{
+	net, err := wmsn.BuildE(wmsn.Config{
 		Seed:        7,
 		Protocol:    proto,
 		NumSensors:  sensors,
@@ -42,6 +43,10 @@ func run(proto wmsn.Protocol) {
 		ReportInterval: 20 * wmsn.Second,
 		SensorBattery:  1e6,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forestfire:", err)
+		os.Exit(1)
+	}
 
 	// The fire: at T/2, sensors inside the zone begin reporting every 2 s.
 	k := net.World.Kernel()

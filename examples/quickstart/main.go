@@ -7,12 +7,13 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"wmsn"
 )
 
 func main() {
-	res := wmsn.Run(wmsn.Config{
+	res, err := wmsn.RunE(wmsn.Config{
 		Seed:        42,
 		Protocol:    wmsn.SPR,
 		NumSensors:  100,
@@ -21,6 +22,10 @@ func main() {
 		NumGateways: 3,
 		RunFor:      120 * wmsn.Second,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 
 	m := res.Metrics
 	fmt.Printf("generated readings : %d\n", m.Generated)

@@ -119,14 +119,12 @@ func TestDeterministicFullStack(t *testing.T) {
 			NumSensors: 50, Side: 150, SensorRange: 40, NumGateways: 2,
 			RoundLen: 20 * wmsn.Second, ReportInterval: 10 * wmsn.Second,
 			RunFor: 90 * wmsn.Second, SensorBattery: 1e6,
+			// The crash schedule lives on the fault plan; Mutate keeps
+			// only what a plan cannot express (the replayer stack).
+			Faults: wmsn.NewFaultPlan().CrashAt(45*wmsn.Second, 4),
 			Mutate: func(n *wmsn.Net) {
 				n.World.AddSensor(9000, wmsn.Point{X: 75, Y: 75}, 40, 0,
 					wmsn.NewReplayer(2*wmsn.Second))
-				n.World.Kernel().After(45*wmsn.Second, func() {
-					if d := n.World.Device(n.SensorIDs[3]); d != nil {
-						d.Fail()
-					}
-				})
 			},
 		})
 		res := net.RunTraffic()

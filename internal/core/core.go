@@ -65,6 +65,18 @@ type Params struct {
 	// flood wavefront expands deterministically, which keeps plain
 	// SPR/MLR's first-copy-answered discovery BFS-optimal on clean media.
 	FloodJitter sim.Duration
+	// AdvertInterval, when positive, makes SPR/MLR gateways flood a
+	// lightweight liveness advertisement every interval, and sensors expire
+	// routes through gateways that fall silent, failing over to the
+	// next-best live route (or rediscovering). 0 (the default) disables the
+	// mechanism entirely, leaving unfaulted runs byte-identical; the
+	// scenario layer turns it on automatically when a fault plan is
+	// attached. SecMLR ignores it — its ACK-driven failover already covers
+	// gateway loss.
+	AdvertInterval sim.Duration
+	// AdvertDeadFactor times AdvertInterval is the gateway liveness
+	// timeout; 0 selects 2.
+	AdvertDeadFactor int
 }
 
 // DefaultParams returns sensible defaults for the simulated radios.

@@ -130,6 +130,32 @@ func NewMLRGateway(p Params, m metrics.Sink) *MLRGateway {
 func (g *MLRGateway) Start(dev *node.Device) {
 	g.dev = dev
 	g.seen = packet.NewDedupe(1 << 14)
+	if iv := g.Params.AdvertInterval; iv > 0 {
+		startAdverts(dev, iv, g.sendAdvert)
+	}
+}
+
+// sendAdvert floods one liveness beacon carrying the current place (see
+// advert.go).
+func (g *MLRGateway) sendAdvert() {
+	if g.dev == nil || !g.dev.Alive() {
+		return
+	}
+	g.seq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindNotify,
+		From:    g.dev.ID(),
+		To:      packet.Broadcast,
+		Origin:  g.dev.ID(),
+		Target:  packet.Broadcast,
+		Seq:     g.seq,
+		TTL:     g.Params.TTL,
+		Payload: marshalAdvert(g.place),
+	}
+	g.seen.Check(g.dev.ID(), g.seq)
+	if g.dev.Send(pkt) {
+		g.Metrics.Inc(metrics.AdvertSent)
+	}
 }
 
 // Place returns the gateway's current feasible-place index (-1 before
@@ -268,6 +294,10 @@ type MLRSensor struct {
 	// overloaded maps places under load shedding to the virtual time the
 	// mark expires.
 	overloaded map[int]sim.Time
+	// lastHeard tracks per-gateway liveness (see advert.go). The
+	// incremental table is never pruned — only the active-place map is,
+	// preserving MLR's never-rebuild property.
+	lastHeard map[packet.NodeID]sim.Time
 
 	// OnDownstream, when set, receives payloads a gateway routed down to
 	// this sensor (commands, configuration, queries).
@@ -276,6 +306,10 @@ type MLRSensor struct {
 	queue       [][]byte
 	discovering bool
 	retriesLeft int
+	// rerouting and lostAt carry a pending failover across a rediscovery
+	// when no live place survived the sweep.
+	rerouting bool
+	lostAt    sim.Time
 }
 
 // NewMLRSensor creates a sensor stack.
@@ -285,6 +319,7 @@ func NewMLRSensor(p Params, m metrics.Sink) *MLRSensor {
 		table:      make(map[int]Route),
 		active:     make(map[int]packet.NodeID),
 		overloaded: make(map[int]sim.Time),
+		lastHeard:  make(map[packet.NodeID]sim.Time),
 	}
 }
 
@@ -292,6 +327,51 @@ func NewMLRSensor(p Params, m metrics.Sink) *MLRSensor {
 func (s *MLRSensor) Start(dev *node.Device) {
 	s.dev = dev
 	s.seen = packet.NewDedupe(1 << 14)
+	if iv := s.Params.AdvertInterval; iv > 0 {
+		dev.World().Kernel().Every(iv, s.sweep)
+	}
+}
+
+// sweep is the periodic liveness check armed when Params.AdvertInterval is
+// set: active places whose gateway is past its liveness deadline are
+// deactivated, so BestRoute falls over to the next-best live place. Routing
+// table entries survive — a recovered or returning gateway reactivates the
+// place with a single advert or NOTIFY.
+func (s *MLRSensor) sweep() {
+	if s.dev == nil || !s.dev.Alive() {
+		return
+	}
+	timeout := s.Params.advertTimeout()
+	now := s.dev.Now()
+	bestBefore := s.BestRoute()
+	lostAt := sim.Time(-1)
+	for place, gw := range s.active {
+		at, ok := s.lastHeard[gw]
+		if !ok || now <= at+timeout {
+			continue // never confirmed (bootstrap) or still live
+		}
+		delete(s.active, place)
+		if bestBefore != nil && bestBefore.Place == place {
+			lostAt = at + timeout
+		}
+	}
+	if lostAt < 0 {
+		return
+	}
+	if s.BestRoute() != nil {
+		s.Metrics.Inc(metrics.Reroutes)
+		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-lostAt))
+		return
+	}
+	// No live place left: rediscover immediately instead of waiting for
+	// the next origination; credit the reroute when the discovery
+	// concludes.
+	s.rerouting = true
+	s.lostAt = lostAt
+	if !s.discovering {
+		s.retriesLeft = s.Params.Retries
+		s.startDiscovery()
+	}
 }
 
 // Table returns a copy of the incremental routing table, keyed by place.
@@ -423,6 +503,11 @@ func (s *MLRSensor) decide() {
 		s.queue = nil
 		return
 	}
+	if s.rerouting {
+		s.rerouting = false
+		s.Metrics.Inc(metrics.Reroutes)
+		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(s.dev.Now()-s.lostAt))
+	}
 	for _, p := range s.queue {
 		s.sendData(p, best)
 	}
@@ -463,6 +548,7 @@ func (s *MLRSensor) sendData(payload []byte, r *Route) {
 // place as active under the given gateway.
 func (s *MLRSensor) learnRoute(place int, gw packet.NodeID, path []packet.NodeID) {
 	s.active[place] = gw
+	s.lastHeard[gw] = s.dev.Now()
 	r := Route{Gateway: gw, Place: place, Hops: len(path) - 1, Path: append([]packet.NodeID(nil), path...)}
 	if old, ok := s.table[place]; !ok || r.Hops < old.Hops {
 		s.table[place] = r
@@ -643,7 +729,19 @@ func (s *MLRSensor) handleNotify(pkt *packet.Packet) {
 		if !ok {
 			return
 		}
+		s.lastHeard[pkt.Origin] = s.dev.Now()
 		s.applyNotify(pkt.Origin, n)
+	case notifyAdvert:
+		place, ok := parseAdvert(pkt.Payload)
+		if !ok {
+			return
+		}
+		s.lastHeard[pkt.Origin] = s.dev.Now()
+		if place >= 0 && s.Params.AdvertInterval > 0 {
+			// The beacon re-activates the gateway's place, so a recovered
+			// gateway comes back without waiting for the next round.
+			s.active[place] = pkt.Origin
+		}
 	case mlrNotifyOverload:
 		place, _, ok := parseOverloadNotify(pkt.Payload)
 		if !ok {

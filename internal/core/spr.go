@@ -33,6 +33,13 @@ type SPRSensor struct {
 	// install on-path tables (SPR step 5.1).
 	routeFresh bool
 
+	// lastHeard tracks per-gateway liveness (see advert.go); rerouting and
+	// lostAt carry a pending failover across a rediscovery when no cached
+	// alternative survived the liveness sweep.
+	lastHeard map[packet.NodeID]sim.Time
+	rerouting bool
+	lostAt    sim.Time
+
 	queue       [][]byte
 	discovering bool
 	retriesLeft int
@@ -42,13 +49,18 @@ type SPRSensor struct {
 // NewSPRSensor creates a sensor stack with the given parameters and shared
 // metrics sink.
 func NewSPRSensor(p Params, m metrics.Sink) *SPRSensor {
-	return &SPRSensor{Params: p, Metrics: m, table: make(map[packet.NodeID]Route)}
+	return &SPRSensor{Params: p, Metrics: m,
+		table:     make(map[packet.NodeID]Route),
+		lastHeard: make(map[packet.NodeID]sim.Time)}
 }
 
 // Start implements node.Stack.
 func (s *SPRSensor) Start(dev *node.Device) {
 	s.dev = dev
 	s.seen = packet.NewDedupe(1 << 14)
+	if iv := s.Params.AdvertInterval; iv > 0 {
+		dev.World().Kernel().Every(iv, s.sweep)
+	}
 }
 
 // BestRoute returns the route data currently follows, or nil.
@@ -131,10 +143,77 @@ func (s *SPRSensor) decide() {
 	s.table[best.Gateway] = *best
 	s.best = best
 	s.routeFresh = true
+	if s.Params.AdvertInterval > 0 {
+		// Liveness mode: keep every answer as a failover alternative and
+		// note the answering gateways as alive. Off by default so plain
+		// runs keep their exact table contents.
+		now := s.dev.Now()
+		for _, r := range s.responses {
+			if old, ok := s.table[r.Gateway]; !ok || r.Hops < old.Hops {
+				s.table[r.Gateway] = r
+			}
+			s.lastHeard[r.Gateway] = now
+		}
+		if s.rerouting {
+			s.rerouting = false
+			s.Metrics.Inc(metrics.Reroutes)
+			s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-s.lostAt))
+		}
+	}
 	for _, p := range s.queue {
 		s.sendData(p)
 	}
 	s.queue = nil
+}
+
+// sweep is the periodic liveness check armed when Params.AdvertInterval is
+// set: routes through gateways past their liveness deadline are dropped,
+// and a lost best route fails over to the next-best surviving entry. The
+// recorded failover latency is the gap between the liveness deadline
+// expiring and the replacement being installed — bounded by one advert
+// interval, since that is the sweep period.
+func (s *SPRSensor) sweep() {
+	if s.dev == nil || !s.dev.Alive() {
+		return
+	}
+	timeout := s.Params.advertTimeout()
+	now := s.dev.Now()
+	lostAt := sim.Time(-1)
+	for gw := range s.table {
+		at, ok := s.lastHeard[gw]
+		if !ok || now <= at+timeout {
+			continue // never confirmed (bootstrap) or still live
+		}
+		delete(s.table, gw)
+		delete(s.lastHeard, gw)
+		if s.best != nil && s.best.Gateway == gw {
+			lostAt = at + timeout
+		}
+	}
+	if lostAt < 0 {
+		return
+	}
+	s.best = nil
+	rs := make([]Route, 0, len(s.table))
+	for _, r := range s.table {
+		rs = append(rs, r)
+	}
+	if next := bestOf(rs); next != nil {
+		s.best = next
+		s.routeFresh = true
+		s.Metrics.Inc(metrics.Reroutes)
+		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-lostAt))
+		return
+	}
+	// No cached alternative: rediscover immediately instead of waiting for
+	// the next origination; credit the reroute when the discovery
+	// concludes.
+	s.rerouting = true
+	s.lostAt = lostAt
+	if !s.discovering {
+		s.retriesLeft = s.Params.Retries
+		s.startDiscovery()
+	}
 }
 
 // bestOf picks the least-hop route; ties break toward the smaller gateway ID
@@ -190,7 +269,29 @@ func (s *SPRSensor) HandleMessage(pkt *packet.Packet) {
 		s.handleRRes(pkt)
 	case packet.KindData:
 		s.handleData(pkt)
+	case packet.KindNotify:
+		s.handleNotify(pkt)
 	}
+}
+
+// handleNotify refreshes gateway liveness from an advert flood and
+// re-floods it (adverts are the only NOTIFY plain SPR uses).
+func (s *SPRSensor) handleNotify(pkt *packet.Packet) {
+	if _, ok := parseAdvert(pkt.Payload); !ok {
+		return
+	}
+	if pkt.Origin == s.dev.ID() || s.seen.Check(pkt.Origin, pkt.Seq) {
+		return
+	}
+	s.lastHeard[pkt.Origin] = s.dev.Now()
+	if pkt.TTL <= 1 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.From = s.dev.ID()
+	fwd.TTL--
+	fwd.Hops++
+	s.sendFlood(fwd, metrics.NotifySent)
 }
 
 func (s *SPRSensor) handleRReq(pkt *packet.Packet) {
@@ -300,6 +401,11 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 				s.best = &rr
 			}
 		}
+		if s.Params.AdvertInterval > 0 {
+			// A flow actively routing through the gateway counts as proof
+			// of life until the advert deadline says otherwise.
+			s.lastHeard[pkt.Target] = s.dev.Now()
+		}
 		fwd := pkt.Clone()
 		fwd.From = s.dev.ID()
 		fwd.To = pkt.Path[idx+1]
@@ -344,8 +450,9 @@ type SPRGateway struct {
 	// layer hooks in here).
 	Uplink func(origin packet.NodeID, seq uint32, payload []byte)
 
-	dev  *node.Device
-	seen *packet.Dedupe
+	dev       *node.Device
+	seen      *packet.Dedupe
+	advertSeq uint32
 }
 
 // NewSPRGateway creates a gateway stack.
@@ -357,6 +464,30 @@ func NewSPRGateway(p Params, m metrics.Sink) *SPRGateway {
 func (g *SPRGateway) Start(dev *node.Device) {
 	g.dev = dev
 	g.seen = packet.NewDedupe(1 << 14)
+	if iv := g.Params.AdvertInterval; iv > 0 {
+		startAdverts(dev, iv, g.sendAdvert)
+	}
+}
+
+// sendAdvert floods one liveness beacon (see advert.go).
+func (g *SPRGateway) sendAdvert() {
+	if g.dev == nil || !g.dev.Alive() {
+		return
+	}
+	g.advertSeq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindNotify,
+		From:    g.dev.ID(),
+		To:      packet.Broadcast,
+		Origin:  g.dev.ID(),
+		Target:  packet.Broadcast,
+		Seq:     g.advertSeq,
+		TTL:     g.Params.TTL,
+		Payload: marshalAdvert(-1),
+	}
+	if g.dev.Send(pkt) {
+		g.Metrics.Inc(metrics.AdvertSent)
+	}
 }
 
 // HandleMessage implements node.Stack.

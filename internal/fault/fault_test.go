@@ -1,0 +1,245 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"wmsn/internal/energy"
+	"wmsn/internal/geom"
+	"wmsn/internal/metrics"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// nopStack is the minimal sensor stack for bare-world injector tests.
+type nopStack struct{}
+
+func (nopStack) Start(*node.Device)               {}
+func (nopStack) HandleMessage(pkt *packet.Packet) {}
+
+func testWorld(seed int64, sensors int) (*node.World, []packet.NodeID) {
+	w := node.NewWorld(node.Config{
+		Seed:          seed,
+		EnergyModel:   energy.DefaultFixed,
+		SensorBattery: 10,
+	})
+	var ids []packet.NodeID
+	for i := 0; i < sensors; i++ {
+		id := packet.NodeID(i + 1)
+		w.AddSensor(id, geom.Point{X: float64(i) * 10, Y: 0}, 35, 10, nopStack{})
+		ids = append(ids, id)
+	}
+	return w, ids
+}
+
+func TestBuildersAppendEvents(t *testing.T) {
+	p := NewPlan().
+		CrashAt(sim.Second, 1).
+		RecoverAt(2*sim.Second, 1).
+		KillGateway(3*sim.Second, 0).
+		StopRouter(4*sim.Second, 9).
+		ResumeRouter(5*sim.Second, 9).
+		DegradeLinks(6*sim.Second, 0.3, 1, 2).
+		DegradeAll(7*sim.Second, 0.1)
+	wantOps := []Op{OpCrash, OpRecover, OpKillGateway, OpStopRouter, OpResumeRouter, OpDegradeLinks, OpDegradeAll}
+	if len(p.Events) != len(wantOps) {
+		t.Fatalf("got %d events, want %d", len(p.Events), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if p.Events[i].Op != op {
+			t.Errorf("event %d: op %v, want %v", i, p.Events[i].Op, op)
+		}
+	}
+}
+
+func TestRampLossSteps(t *testing.T) {
+	p := NewPlan().RampLoss(10*sim.Second, 20*sim.Second, 0.4, 4)
+	if len(p.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(p.Events))
+	}
+	last := p.Events[3]
+	if last.At != 20*sim.Second || last.Rate != 0.4 {
+		t.Fatalf("final step at %v rate %v, want 20s / 0.4", last.At, last.Rate)
+	}
+	first := p.Events[0]
+	if first.At != 12500*sim.Millisecond || first.Rate != 0.1 {
+		t.Fatalf("first step at %v rate %v, want 12.5s / 0.1", first.At, first.Rate)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	runFor := 60 * sim.Second
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"negative time", NewPlan().CrashAt(-sim.Second, 1), "negative time"},
+		{"past horizon", NewPlan().CrashAt(90*sim.Second, 1), "never fire"},
+		{"negative gateway", NewPlan().KillGateway(sim.Second, -2), "gateway index"},
+		{"loss rate one", NewPlan().DegradeAll(sim.Second, 1.0), "outside [0,1)"},
+		{"churn negative rate", NewPlan().WithChurn(Churn{Rate: -3}), "negative rate"},
+		{"churn stop before start", NewPlan().WithChurn(Churn{Rate: 1, Start: 10 * sim.Second, Stop: 5 * sim.Second}), "before start"},
+		{"negative settle", NewPlan().Settle(-sim.Second), "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(runFor)
+			if err == nil {
+				t.Fatal("plan validated, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := (*Plan)(nil).Validate(runFor); err != nil {
+		t.Fatalf("nil plan: %v", err)
+	}
+	ok := NewPlan().CrashAt(sim.Second, 1).KillGateway(2*sim.Second, 0).WithChurn(Churn{Rate: 2})
+	if err := ok.Validate(runFor); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestValidateJoinsAllProblems(t *testing.T) {
+	p := NewPlan().CrashAt(-sim.Second, 1).DegradeAll(sim.Second, 2).Settle(-sim.Second)
+	err := p.Validate(60 * sim.Second)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{"negative time", "outside [0,1)", "settle"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestInjectorCrashAndRecover(t *testing.T) {
+	w, ids := testWorld(1, 2)
+	m := &metrics.Memory{}
+	plan := NewPlan().CrashAt(sim.Second, ids[0]).RecoverAt(5*sim.Second, ids[0])
+	in := Attach(plan, Env{World: w, Metrics: m, Sensors: ids, Horizon: 10 * sim.Second})
+
+	w.Run(2 * sim.Second)
+	if d := w.Device(ids[0]); d.Alive() {
+		t.Fatal("device alive after scheduled crash")
+	}
+	deaths := w.Deaths()
+	if len(deaths) != 1 || deaths[0].Cause != node.CauseInjected {
+		t.Fatalf("deaths %+v, want one CauseInjected", deaths)
+	}
+	w.Run(10 * sim.Second)
+	if d := w.Device(ids[0]); !d.Alive() {
+		t.Fatal("device dead after scheduled recovery")
+	}
+	if m.FaultsInjected != 1 {
+		t.Fatalf("FaultsInjected = %d, want 1 (recovery is not a fault)", m.FaultsInjected)
+	}
+	rel := in.Finish()
+	if rel == nil || len(rel.Windows) != 1 {
+		t.Fatalf("reliability %+v, want one window", rel)
+	}
+	win := rel.Windows[0]
+	if win.Label != "crash n1" || win.At != sim.Second {
+		t.Fatalf("window %+v, want 'crash n1' at 1s", win)
+	}
+	if win.Before != 1 || win.During != 1 || win.After != 1 {
+		t.Fatalf("idle-network ratios %+v, want all 1", win)
+	}
+}
+
+func TestInjectorDegradation(t *testing.T) {
+	w, ids := testWorld(2, 3)
+	m := &metrics.Memory{}
+	plan := NewPlan().
+		DegradeLinks(sim.Second, 0.25, ids[0], ids[1]).
+		DegradeAll(2*sim.Second, 0.1)
+	Attach(plan, Env{World: w, Metrics: m, Sensors: ids, Horizon: 10 * sim.Second})
+	w.Run(3 * sim.Second)
+	if got := w.Device(ids[0]).SensorStation().RxLoss(); got != 0.25 {
+		t.Fatalf("rxLoss[0] = %v, want 0.25", got)
+	}
+	if got := w.Device(ids[2]).SensorStation().RxLoss(); got != 0 {
+		t.Fatalf("rxLoss[2] = %v, want 0 (not targeted)", got)
+	}
+	if got := w.SensorMedium().LossRate(); got != 0.1 {
+		t.Fatalf("medium loss = %v, want 0.1", got)
+	}
+	if m.FaultsInjected != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2", m.FaultsInjected)
+	}
+}
+
+func TestKillGatewayResolvesIndex(t *testing.T) {
+	w, _ := testWorld(3, 1)
+	gwID := packet.NodeID(1_000_000)
+	w.AddGateway(gwID, geom.Point{X: 50, Y: 50}, 35, 120, nopStack{})
+	m := &metrics.Memory{}
+	plan := NewPlan().KillGateway(sim.Second, 0).KillGateway(2*sim.Second, 7)
+	Attach(plan, Env{World: w, Metrics: m, Gateways: []packet.NodeID{gwID}, Horizon: 10 * sim.Second})
+	w.Run(3 * sim.Second)
+	if w.Device(gwID).Alive() {
+		t.Fatal("gateway 0 alive after KillGateway(0)")
+	}
+	// Index 7 is out of range: ignored, not a panic.
+	if m.FaultsInjected != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2 (both events executed)", m.FaultsInjected)
+	}
+}
+
+// churnTrace runs a churn-only plan and returns the death/recovery trace.
+func churnTrace(seed int64) []string {
+	w, ids := testWorld(seed, 20)
+	m := &metrics.Memory{}
+	var trace []string
+	w.SetTrace(func(ev node.TraceEvent) {
+		if ev.Kind == "death" || ev.Kind == "recover" {
+			trace = append(trace, ev.Kind+"@"+ev.At.String())
+		}
+	})
+	plan := NewPlan().WithChurn(Churn{Rate: 600, MTTR: 5 * sim.Second})
+	Attach(plan, Env{World: w, Metrics: m, Sensors: ids, Horizon: 2 * sim.Minute})
+	w.Run(2 * sim.Minute)
+	return trace
+}
+
+func TestChurnDeterministicPerSeed(t *testing.T) {
+	a, b := churnTrace(7), churnTrace(7)
+	if len(a) == 0 {
+		t.Fatal("churn produced no events — rate too low for the horizon?")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if c := churnTrace(8); len(c) == len(a) && func() bool {
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced identical churn traces")
+	}
+}
+
+func TestChurnRecoveriesHeal(t *testing.T) {
+	w, ids := testWorld(9, 10)
+	m := &metrics.Memory{}
+	plan := NewPlan().WithChurn(Churn{Rate: 1200, MTTR: sim.Second, Stop: sim.Minute})
+	Attach(plan, Env{World: w, Metrics: m, Sensors: ids, Horizon: 5 * sim.Minute})
+	w.Run(5 * sim.Minute)
+	if m.FaultsInjected == 0 {
+		t.Fatal("no churn crashes at rate 1200/h over a minute")
+	}
+	if alive := w.SensorsAlive(); alive != len(ids) {
+		t.Fatalf("%d/%d sensors alive at the end, want all (recoveries run past Stop)", alive, len(ids))
+	}
+}

@@ -115,6 +115,21 @@ func (r *Router) Stop() {
 	}
 }
 
+// Resume restarts a Stopped control plane: the HELLO ticker is re-armed and
+// the router re-advertises itself, so neighbors re-learn it within one
+// HELLO interval. Resuming a router that was never stopped is a no-op; a
+// crashed (Failed) device needs Device.Recover instead — its ticker kept
+// running and rejoin is automatic.
+func (r *Router) Resume() {
+	if !r.stopped || r.dev == nil {
+		return
+	}
+	r.stopped = false
+	k := r.dev.World().Kernel()
+	r.tick()
+	r.ticker = k.Every(r.Cfg.HelloInterval, r.tick)
+}
+
 // Stats returns a snapshot of the router's counters.
 func (r *Router) Stats() Stats { return r.stats }
 

@@ -260,3 +260,94 @@ func TestMeshRouterMobility(t *testing.T) {
 		t.Fatal("data not delivered through the moved relay")
 	}
 }
+
+func TestMeshReHealsAfterRepeatedFailures(t *testing.T) {
+	// Double diamond: two disjoint relay pairs between the endpoints, so
+	// the mesh survives killing the active relay twice in a row.
+	pts := []geom.Point{
+		{X: 0, Y: 0},     // 100
+		{X: 100, Y: 80},  // 101
+		{X: 100, Y: -80}, // 102
+		{X: 100, Y: 40},  // 103
+		{X: 200, Y: 0},   // 104
+	}
+	w, b, ids := meshWorld(t, 11, pts, 160)
+	w.Run(20 * sim.Second)
+	dst := ids[4]
+	if !b.Router(ids[0]).Reachable(dst) {
+		t.Fatal("no initial route")
+	}
+	killed := map[packet.NodeID]bool{}
+	for round := 1; round <= 2; round++ {
+		nh, ok := b.Router(ids[0]).NextHop(dst)
+		if !ok {
+			t.Fatalf("round %d: no route before failure", round)
+		}
+		killed[nh] = true
+		w.Device(nh).Fail()
+		w.Run(w.Kernel().Now() + 20*sim.Second)
+		nh2, ok := b.Router(ids[0]).NextHop(dst)
+		if !ok {
+			t.Fatalf("round %d: mesh did not re-heal after failure of %v", round, nh)
+		}
+		if killed[nh2] {
+			t.Fatalf("round %d: route points at dead router %v", round, nh2)
+		}
+	}
+	delivered := 0
+	b.Router(dst).OnDeliver = func(*packet.Packet) { delivered++ }
+	b.Router(ids[0]).SendTo(dst, 1, 1, []byte("still here"))
+	w.Run(w.Kernel().Now() + 5*sim.Second)
+	if delivered != 1 {
+		t.Fatal("data lost after two failovers")
+	}
+}
+
+func TestMeshReHealsAfterRouterRecovery(t *testing.T) {
+	// Chain 100 -- 101 -- 102: killing the middle router partitions the
+	// ends; recovering it must re-join the mesh automatically and restore
+	// end-to-end routing (§3's self-healing backbone).
+	w, b, ids := meshWorld(t, 12, chain(3, 100), 150)
+	w.Run(20 * sim.Second)
+	w.Device(ids[1]).Fail()
+	w.Run(w.Kernel().Now() + 15*sim.Second)
+	if b.Router(ids[0]).Reachable(ids[2]) {
+		t.Fatal("route survived the partition")
+	}
+	if !w.Device(ids[1]).Recover() {
+		t.Fatal("Recover returned false for a dead router")
+	}
+	w.Run(w.Kernel().Now() + 20*sim.Second)
+	if !b.Router(ids[0]).Reachable(ids[2]) {
+		t.Fatal("recovered router did not re-join: ends still partitioned")
+	}
+	delivered := 0
+	b.Router(ids[2]).OnDeliver = func(*packet.Packet) { delivered++ }
+	b.Router(ids[0]).SendTo(ids[2], 1, 1, []byte("through the revenant"))
+	w.Run(w.Kernel().Now() + 5*sim.Second)
+	if delivered != 1 {
+		t.Fatal("data not delivered through the recovered router")
+	}
+}
+
+func TestMeshResumeAfterStop(t *testing.T) {
+	// A politely stopped router (control-plane partition, device alive)
+	// resumes beaconing and is relearned by its neighbors.
+	w, b, ids := meshWorld(t, 13, chain(3, 100), 150)
+	w.Run(20 * sim.Second)
+	r := b.Router(ids[1])
+	r.Stop()
+	w.Run(w.Kernel().Now() + 15*sim.Second)
+	if b.Router(ids[0]).Reachable(ids[2]) {
+		t.Fatal("route survived the stopped relay")
+	}
+	hellos := r.Stats().HellosSent
+	r.Resume()
+	w.Run(w.Kernel().Now() + 20*sim.Second)
+	if r.Stats().HellosSent == hellos {
+		t.Fatal("resumed router never beaconed")
+	}
+	if !b.Router(ids[0]).Reachable(ids[2]) {
+		t.Fatal("mesh did not re-converge after Resume")
+	}
+}

@@ -47,6 +47,10 @@ const (
 	RadioBytesOnAir                   // payload bytes transmitted
 	RadioBackoffs                     // CSMA backoff events
 	RadioDropped                      // frames abandoned after too many backoffs
+	FaultsInjected                    // discrete fault-plan events executed
+	Reroutes                          // routes invalidated and replaced after a fault
+	FailoverLatencyUs                 // cumulative µs between losing a route and replacing it
+	AdvertSent                        // gateway liveness advertisements transmitted
 	numCounters
 )
 
@@ -72,6 +76,10 @@ var counterNames = [numCounters]string{
 	RadioBytesOnAir:    "radio_bytes_on_air",
 	RadioBackoffs:      "radio_backoffs",
 	RadioDropped:       "radio_dropped",
+	FaultsInjected:     "faults_injected",
+	Reroutes:           "reroutes",
+	FailoverLatencyUs:  "failover_latency_us",
+	AdvertSent:         "advert_sent",
 }
 
 // String returns the stable snake_case name used in Snapshot JSON.
@@ -145,6 +153,11 @@ type Memory struct {
 	RadioBackoffs      uint64 // CSMA backoff events
 	RadioDropped       uint64 // frames abandoned after too many backoffs
 
+	FaultsInjected    uint64 // discrete fault-plan events executed
+	Reroutes          uint64 // routes invalidated and replaced after a fault
+	FailoverLatencyUs uint64 // cumulative µs between losing a route and replacing it
+	AdvertSent        uint64 // gateway liveness advertisements transmitted
+
 	pending    map[floodKey]pendingData
 	latencies  []sim.Duration
 	hops       []int
@@ -208,6 +221,14 @@ func (m *Memory) counterPtr(c Counter) *uint64 {
 		return &m.RadioBackoffs
 	case RadioDropped:
 		return &m.RadioDropped
+	case FaultsInjected:
+		return &m.FaultsInjected
+	case Reroutes:
+		return &m.Reroutes
+	case FailoverLatencyUs:
+		return &m.FailoverLatencyUs
+	case AdvertSent:
+		return &m.AdvertSent
 	}
 	return nil
 }

@@ -42,6 +42,28 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// DeathCause classifies why a device died. Typed causes replace the
+// "battery"/"failure" string literals that were previously compared across
+// packages.
+type DeathCause uint8
+
+// Death causes.
+const (
+	CauseBattery  DeathCause = iota // battery drained mid-operation
+	CauseFailure                    // hardware fault, capture, etc. (Device.Fail)
+	CauseInjected                   // scheduled by a fault plan (internal/fault)
+)
+
+var causeNames = [...]string{"battery", "failure", "injected"}
+
+// String implements fmt.Stringer.
+func (c DeathCause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("DeathCause(%d)", uint8(c))
+}
+
 // Stack is a protocol state machine attached to a device's sensor-layer
 // radio (SPR, MLR, SecMLR, or a baseline).
 type Stack interface {
@@ -70,6 +92,13 @@ type Device struct {
 	meshHandler func(*packet.Packet)
 
 	alive bool
+	// Saved attachment state so a dead device can Recover: positions and
+	// ranges are captured by kill before the stations are detached.
+	lastPos              geom.Point
+	lastSensorRange      float64
+	lastMeshRange        float64
+	lastSensorListening  bool
+	hadSensorSt, hadMesh bool
 	// Promiscuous devices receive unicast packets addressed to others
 	// (used by eavesdropping and wormhole attackers).
 	Promiscuous bool
@@ -148,7 +177,7 @@ func (d *Device) Send(pkt *packet.Packet) bool {
 	}
 	cost := d.model.TxCost(pkt.SizeBits(), d.sensorSt.Range())
 	if !d.battery.DrawTx(cost) {
-		d.world.kill(d, "battery")
+		d.world.kill(d, CauseBattery)
 		return false
 	}
 	d.SentPackets++
@@ -171,7 +200,7 @@ func (d *Device) SendRange(pkt *packet.Packet, rangeM float64) bool {
 	cost := d.model.TxCost(pkt.SizeBits(), rangeM)
 	if !d.battery.DrawTx(cost) {
 		d.sensorSt.SetRange(orig)
-		d.world.kill(d, "battery")
+		d.world.kill(d, CauseBattery)
 		return false
 	}
 	d.SentPackets++
@@ -199,7 +228,7 @@ func (d *Device) SendMesh(pkt *packet.Packet) bool {
 	}
 	cost := d.model.TxCost(pkt.SizeBits(), d.meshSt.Range())
 	if !d.battery.DrawTx(cost) {
-		d.world.kill(d, "battery")
+		d.world.kill(d, CauseBattery)
 		return false
 	}
 	d.SentPackets++
@@ -217,7 +246,7 @@ func (d *Device) receive(pkt *packet.Packet) {
 		return
 	}
 	if !d.battery.DrawRx(d.model.RxCost(pkt.SizeBits())) {
-		d.world.kill(d, "battery")
+		d.world.kill(d, CauseBattery)
 		return
 	}
 	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.Promiscuous {
@@ -236,7 +265,7 @@ func (d *Device) receiveMesh(pkt *packet.Packet) {
 		return
 	}
 	if !d.battery.DrawRx(d.model.RxCost(pkt.SizeBits())) {
-		d.world.kill(d, "battery")
+		d.world.kill(d, CauseBattery)
 		return
 	}
 	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.Promiscuous {
@@ -251,7 +280,39 @@ func (d *Device) receiveMesh(pkt *packet.Packet) {
 
 // Fail kills the device immediately (hardware fault, capture, etc.). The
 // robustness experiments (E6, E7) use this.
-func (d *Device) Fail() { d.world.kill(d, "failure") }
+func (d *Device) Fail() { d.world.kill(d, CauseFailure) }
+
+// FailCause kills the device recording the given cause; the fault injector
+// uses it with CauseInjected so scheduled crashes are distinguishable from
+// organic failures in Deaths().
+func (d *Device) FailCause(c DeathCause) { d.world.kill(d, c) }
+
+// Recover revives a previously killed device: the radio stations are
+// re-attached at the position and ranges saved when it died, and the device
+// resumes with whatever battery charge remains (a battery-dead sensor will
+// die again on its next operation). Protocol state survives intact — the
+// stack and mesh handler were never torn down — so a recovered mesh router
+// re-joins the backbone on its next HELLO tick. Recover reports whether it
+// actually revived the device (false when it is already alive).
+func (d *Device) Recover() bool {
+	if d.alive {
+		return false
+	}
+	w := d.world
+	if d.hadSensorSt {
+		d.sensorSt = w.sensorMedium.Attach(d.id, d.lastPos, d.lastSensorRange, d.receive)
+		d.sensorSt.SetListening(d.lastSensorListening)
+	}
+	if d.hadMesh {
+		d.meshSt = w.meshMedium.Attach(d.id, d.lastPos, d.lastMeshRange, d.receiveMesh)
+	}
+	d.alive = true
+	if d.kind == Sensor {
+		w.sensorsAlive++
+	}
+	w.emitTrace("recover", d.id, nil, "")
+	return true
+}
 
 // Config configures a World.
 type Config struct {
@@ -272,9 +333,9 @@ type Config struct {
 // -trace); it has zero cost when no hook is set.
 type TraceEvent struct {
 	At     sim.Time
-	Kind   string // "tx", "rx", "mesh-tx", "mesh-rx", "death"
+	Kind   string // "tx", "rx", "mesh-tx", "mesh-rx", "death", "recover"
 	Node   packet.NodeID
-	Packet *packet.Packet // nil for death events
+	Packet *packet.Packet // nil for death/recover events
 	Detail string         // cause for deaths
 }
 
@@ -282,7 +343,7 @@ type TraceEvent struct {
 type DeathRecord struct {
 	ID    packet.NodeID
 	At    sim.Time
-	Cause string // "battery" or "failure"
+	Cause DeathCause
 }
 
 // World owns the kernel, the media and the devices of one simulation.
@@ -449,22 +510,27 @@ func (w *World) AddBaseStation(id packet.NodeID, pos geom.Point, meshRange float
 // OnDeath registers a callback invoked whenever a device dies.
 func (w *World) OnDeath(fn func(DeathRecord)) { w.onDeath = append(w.onDeath, fn) }
 
-func (w *World) kill(d *Device, cause string) {
+func (w *World) kill(d *Device, cause DeathCause) {
 	if !d.alive {
 		return
 	}
 	d.alive = false
+	d.lastPos = d.Pos()
+	d.hadSensorSt, d.hadMesh = d.sensorSt != nil, d.meshSt != nil
 	if d.sensorSt != nil {
+		d.lastSensorRange = d.sensorSt.Range()
+		d.lastSensorListening = d.sensorSt.Listening()
 		w.sensorMedium.Detach(d.id)
 		d.sensorSt = nil
 	}
 	if d.meshSt != nil {
+		d.lastMeshRange = d.meshSt.Range()
 		w.meshMedium.Detach(d.id)
 		d.meshSt = nil
 	}
 	rec := DeathRecord{ID: d.id, At: w.kernel.Now(), Cause: cause}
 	w.deaths = append(w.deaths, rec)
-	w.emitTrace("death", d.id, nil, cause)
+	w.emitTrace("death", d.id, nil, cause.String())
 	if d.kind == Sensor {
 		w.sensorsAlive--
 		if w.firstDeath < 0 {

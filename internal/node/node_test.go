@@ -129,7 +129,7 @@ func TestBatteryDepletionKillsNode(t *testing.T) {
 	if w.SensorsAlive() != 0 {
 		t.Fatalf("SensorsAlive = %d", w.SensorsAlive())
 	}
-	if len(w.Deaths()) != 1 || w.Deaths()[0].Cause != "battery" {
+	if len(w.Deaths()) != 1 || w.Deaths()[0].Cause != CauseBattery {
 		t.Fatalf("deaths = %+v", w.Deaths())
 	}
 	// Dead node sends nothing.
@@ -149,7 +149,7 @@ func TestFailKillsAndDetaches(t *testing.T) {
 	if db.Alive() {
 		t.Fatal("failed device still alive")
 	}
-	if len(deaths) != 1 || deaths[0].Cause != "failure" || deaths[0].ID != 2 {
+	if len(deaths) != 1 || deaths[0].Cause != CauseFailure || deaths[0].ID != 2 {
 		t.Fatalf("death callback: %+v", deaths)
 	}
 	da.Send(bcast(1))

@@ -81,6 +81,7 @@ type Station struct {
 	rangeM    float64
 	handler   func(*packet.Packet)
 	listening bool
+	rxLoss    float64 // extra per-station reception loss probability
 	medium    *Medium
 	cell      cellKey
 	// pending tracks receptions in flight, for the collision model;
@@ -111,6 +112,24 @@ func (s *Station) Listening() bool { return s.listening }
 // SetListening wakes or sleeps the receiver (sleep scheduling, §4.4).
 // A sleeping station receives nothing but may still transmit.
 func (s *Station) SetListening(on bool) { s.listening = on }
+
+// RxLoss returns the station's extra reception loss probability.
+func (s *Station) RxLoss() float64 { return s.rxLoss }
+
+// SetRxLoss sets an additional independent loss probability applied to every
+// reception at this station, on top of the medium-wide LossRate. The fault
+// injector uses it for per-link and region-wide degradation ramps. p is
+// clamped to [0, 1); a station with RxLoss 0 draws no extra randomness, so
+// unfaulted runs keep their RNG streams unchanged.
+func (s *Station) SetRxLoss(p float64) {
+	if p < 0 || math.IsNaN(p) {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.999999
+	}
+	s.rxLoss = p
+}
 
 // Move relocates the station (gateway mobility between MLR rounds).
 func (s *Station) Move(p geom.Point) {
@@ -198,6 +217,18 @@ func (m *Medium) putDelivery(d *delivery) {
 
 // Stats returns a snapshot of medium counters.
 func (m *Medium) Stats() Stats { return m.stats }
+
+// LossRate returns the medium-wide per-link loss probability.
+func (m *Medium) LossRate() float64 { return m.cfg.LossRate }
+
+// SetLossRate changes the medium-wide per-link loss probability mid-run
+// (region-wide degradation ramps). Out-of-range values panic, matching New.
+func (m *Medium) SetLossRate(p float64) {
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("radio: loss rate %v outside [0,1)", p))
+	}
+	m.cfg.LossRate = p
+}
 
 // report mirrors a stats increment to the optional metrics sink.
 func (m *Medium) report(c metrics.Counter, n uint64) {
@@ -405,6 +436,11 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 			continue
 		}
 		if m.cfg.LossRate > 0 && m.k.Rand().Float64() < m.cfg.LossRate {
+			m.stats.Lost++
+			m.report(metrics.RadioLost, 1)
+			continue
+		}
+		if st.rxLoss > 0 && m.k.Rand().Float64() < st.rxLoss {
 			m.stats.Lost++
 			m.report(metrics.RadioLost, 1)
 			continue

@@ -6,11 +6,14 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"wmsn/internal/baseline"
 	"wmsn/internal/core"
 	"wmsn/internal/energy"
+	"wmsn/internal/fault"
 	"wmsn/internal/geom"
 	"wmsn/internal/node"
 	"wmsn/internal/packet"
@@ -108,9 +111,19 @@ type Config struct {
 	// applies on top.
 	Params *core.Params
 
+	// Faults, when non-nil, attaches a deterministic fault plan to the
+	// run: scheduled crashes, recoveries, gateway kills, loss degradation
+	// and background churn, executed on the run's own kernel (see
+	// internal/fault). A fault plan auto-enables gateway liveness
+	// advertisements (Params.AdvertInterval = 1s) unless Params is set
+	// explicitly; the resulting Result carries a Reliability summary.
+	Faults *fault.Plan
+
 	// Hooks: Mutate runs after the network is built but before traffic
-	// starts (install attackers, schedule failures, ...). StackWrapper,
-	// when set, wraps every sensor stack at creation — the hook insider
+	// starts (install attackers, schedule failures, ...). Prefer Faults
+	// for crash/recovery/loss schedules — Mutate remains the escape hatch
+	// for custom stacks, adversaries and trace taps. StackWrapper, when
+	// set, wraps every sensor stack at creation — the hook insider
 	// attacks (selective forwarding, ACK spoofing) use to compromise a
 	// subset of legitimate nodes while keeping them on routing paths.
 	Mutate       func(n *Net)
@@ -175,6 +188,84 @@ func Defaults(cfg Config) Config {
 	return cfg
 }
 
+// Validate checks the configuration for contradictions that Build would
+// otherwise turn into a panic or a silently meaningless run. Defaults are
+// applied first, so a zero field is never an error — only an explicitly
+// wrong value is. All problems are reported at once via errors.Join, each
+// with the offending value and the constraint it violates.
+func (cfg Config) Validate() error {
+	c := Defaults(cfg)
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	b, known := protocol.Lookup(c.Protocol)
+	if !known {
+		fail("unknown protocol %q — register a builder or use one of the built-ins", c.Protocol)
+	}
+	if c.NumSensors < 0 {
+		fail("NumSensors %d is negative — deploy at least one sensor", c.NumSensors)
+	}
+	if c.NumGateways < 0 {
+		fail("NumGateways %d is negative — need at least one gateway or sink", c.NumGateways)
+	}
+	if c.Side < 0 {
+		fail("Side %g is negative — the region is a Side x Side square", c.Side)
+	}
+	if c.SensorRange < 0 {
+		fail("SensorRange %g is negative — radio range must be positive metres", c.SensorRange)
+	}
+	if c.ReportInterval < 0 {
+		fail("ReportInterval %v is negative", c.ReportInterval)
+	}
+	if c.Warmup < 0 {
+		fail("Warmup %v is negative", c.Warmup)
+	}
+	if c.RunFor < 0 {
+		fail("RunFor %v is negative", c.RunFor)
+	}
+	if c.RoundLen < 0 {
+		fail("RoundLen %v is negative", c.RoundLen)
+	}
+	if c.PayloadSize < 0 {
+		fail("PayloadSize %d is negative", c.PayloadSize)
+	}
+	if c.SensorBattery < 0 {
+		fail("SensorBattery %g J is negative", c.SensorBattery)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 || math.IsNaN(c.LossRate) {
+		fail("LossRate %v outside [0,1) — 1 would lose every frame", c.LossRate)
+	}
+	if c.LEACHProb <= 0 || c.LEACHProb > 1 {
+		fail("LEACHProb %v outside (0,1] — it is a cluster-head election probability", c.LEACHProb)
+	}
+	numPlaces := len(c.Places)
+	if numPlaces == 0 {
+		numPlaces = c.NumGateways
+		if known && b.Caps.MobilityRounds {
+			numPlaces = 2 * c.NumGateways
+		}
+	}
+	for r, row := range c.Schedule {
+		if len(row) != c.NumGateways {
+			fail("Schedule row %d has %d entries, want one place per gateway (%d)", r, len(row), c.NumGateways)
+			continue
+		}
+		for g, p := range row {
+			if p < 0 || p >= numPlaces {
+				fail("Schedule row %d gateway %d: place %d out of range [0,%d)", r, g, p, numPlaces)
+			}
+		}
+	}
+	if c.TEEN != nil && c.TEEN.Field == nil {
+		fail("TEEN reporting configured with a nil Field — nothing to sense")
+	}
+	if err := c.Faults.Validate(c.RunFor); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
 // Net is a built, running experiment network.
 type Net struct {
 	Cfg           Config
@@ -191,21 +282,37 @@ type Net struct {
 
 	trafficStop []*sim.Repeater
 	teens       []*sensing.TEEN
+	injector    *fault.Injector
 }
 
 // GatewayID of the i-th gateway. The base sits far above any realistic
 // sensor count so scenario IDs never collide.
 func GatewayID(i int) packet.NodeID { return packet.NodeID(1_000_000 + i) }
 
-// Build constructs the network for cfg without starting traffic. The
-// protocol is resolved through the protocol registry; Build panics when no
-// Builder is registered under cfg.Protocol or the Builder rejects the
-// configuration (e.g. no feasible round schedule exists).
+// Build constructs the network for cfg without starting traffic. It is the
+// panicking wrapper over BuildE for call sites that treat a bad
+// configuration as a programming error.
 func Build(cfg Config) *Net {
+	n, err := BuildE(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return n
+}
+
+// BuildE constructs the network for cfg without starting traffic. The
+// configuration is validated first (see Config.Validate); the protocol is
+// then resolved through the protocol registry, and any Builder rejection
+// (e.g. no feasible round schedule exists) comes back as an error rather
+// than a panic.
+func BuildE(cfg Config) (*Net, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: invalid config: %w", err)
+	}
 	cfg = Defaults(cfg)
 	b, ok := protocol.Lookup(cfg.Protocol)
 	if !ok {
-		panic(fmt.Sprintf("scenario: unknown protocol %q", cfg.Protocol))
+		return nil, fmt.Errorf("scenario: unknown protocol %q", cfg.Protocol)
 	}
 	region := geom.Square(cfg.Side)
 	m := core.NewMetrics()
@@ -251,6 +358,10 @@ func Build(cfg Config) *Net {
 	params := core.DefaultParams()
 	if cfg.Params != nil {
 		params = *cfg.Params
+	} else if cfg.Faults != nil {
+		// A fault plan without explicit params turns on gateway liveness
+		// advertisements so SPR/MLR can detect dead gateways and fail over.
+		params.AdvertInterval = sim.Second
 	}
 	params.NoShortcutAnswers = cfg.NoShortcutAnswers
 	wrap := func(id packet.NodeID, st node.Stack) node.Stack {
@@ -277,17 +388,27 @@ func Build(cfg Config) *Net {
 		Wrap:           wrap,
 	})
 	if err != nil {
-		panic("scenario: " + err.Error())
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	n.Originators = inst.Originators
 	n.Rounds = inst.Rounds
 	n.LEACHRounds = inst.LEACHRounds
 	n.PegasisRounds = inst.PegasisRounds
 
+	if cfg.Faults != nil {
+		n.injector = fault.Attach(cfg.Faults, fault.Env{
+			World:    w,
+			Metrics:  n.Metrics,
+			Gateways: n.GatewayIDs,
+			Sensors:  n.SensorIDs,
+			Horizon:  cfg.RunFor,
+		})
+	}
+
 	if cfg.Mutate != nil {
 		cfg.Mutate(n)
 	}
-	return n
+	return n, nil
 }
 
 // StartTraffic schedules the reporting workload: unconditional periodic
@@ -358,12 +479,29 @@ type Result struct {
 	SensorsAlive int
 	SensorsTotal int
 	Elapsed      sim.Time
+	// Reliability summarizes fault recovery; nil unless Config.Faults was
+	// set.
+	Reliability *fault.Reliability
 }
 
 // Run builds the network, drives traffic for cfg.RunFor, and summarizes.
+// It is the panicking wrapper over RunE.
 func Run(cfg Config) Result {
-	n := Build(cfg)
-	return n.RunTraffic()
+	res, err := RunE(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunE builds the network, drives traffic for cfg.RunFor, and summarizes,
+// returning an error instead of panicking on an invalid configuration.
+func RunE(cfg Config) (Result, error) {
+	n, err := BuildE(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return n.RunTraffic(), nil
 }
 
 // RunMany executes every config on a bounded worker pool and returns the
@@ -394,7 +532,12 @@ func (n *Net) RunTraffic() Result {
 
 // Summarize captures the current state as a Result.
 func (n *Net) Summarize() Result {
+	var rel *fault.Reliability
+	if n.injector != nil {
+		rel = n.injector.Finish()
+	}
 	return Result{
+		Reliability:  rel,
 		Cfg:          n.Cfg,
 		Metrics:      n.Metrics,
 		Energy:       n.World.SensorEnergyStats(),

@@ -17,8 +17,9 @@
 //     link-state wireless mesh backbone with self-healing, and a
 //     symmetric-crypto toolkit.
 //   - Flat-architecture baselines (flooding, gossiping, direct, MCFA,
-//     LEACH), eight network-layer attacks, gateway placement models, and
-//     the full experiment suite (E1–E12) behind cmd/wmsnbench.
+//     LEACH), eight network-layer attacks, gateway placement models, a
+//     deterministic fault-injection subsystem (Config.Faults), and the
+//     full experiment suite (E1–E13) behind cmd/wmsnbench.
 //
 // Quick start:
 //
@@ -37,6 +38,7 @@ import (
 	"wmsn/internal/core"
 	"wmsn/internal/energy"
 	"wmsn/internal/experiments"
+	"wmsn/internal/fault"
 	"wmsn/internal/geom"
 	"wmsn/internal/mesh"
 	"wmsn/internal/metrics"
@@ -164,9 +166,52 @@ type (
 // NewTEENFilter creates a threshold filter.
 var NewTEENFilter = sensing.NewTEEN
 
+// Fault injection: a FaultPlan declared on Config.Faults schedules
+// deterministic crashes, recoveries, gateway kills, loss degradation and
+// background churn; the run's Result then carries a Reliability summary.
+type (
+	// FaultPlan is a declarative, validated fault schedule.
+	FaultPlan = fault.Plan
+	// FaultChurn parameterizes background sensor crash/recover cycles.
+	FaultChurn = fault.Churn
+	// Reliability summarizes recovery behaviour of a faulted run.
+	Reliability = fault.Reliability
+	// ReliabilityWindow is the delivery ratio around one fault event.
+	ReliabilityWindow = fault.Window
+)
+
+// NewFaultPlan returns an empty fault plan; chain CrashAt, RecoverAt,
+// KillGateway, DegradeLinks, DegradeAll, RampLoss, WithChurn and Settle to
+// populate it.
+func NewFaultPlan() *FaultPlan { return fault.NewPlan() }
+
+// Fault and failover counters (see MetricsSnapshot.Counters).
+const (
+	CtrFaultsInjected    = metrics.FaultsInjected
+	CtrReroutes          = metrics.Reroutes
+	CtrFailoverLatencyUs = metrics.FailoverLatencyUs
+)
+
+// DeathCause classifies why a device died.
+type DeathCause = node.DeathCause
+
+// Death causes.
+const (
+	CauseBattery  = node.CauseBattery
+	CauseFailure  = node.CauseFailure
+	CauseInjected = node.CauseInjected
+)
+
 // Run builds the network described by cfg, drives its reporting workload to
-// the horizon, and returns the aggregated result.
+// the horizon, and returns the aggregated result. It panics on an invalid
+// configuration; use RunE to get the validation error instead.
 func Run(cfg Config) Result { return scenario.Run(cfg) }
+
+// RunE is Run with error reporting: the configuration is validated first
+// (see Config.Validate) and every misconfiguration — negative counts, loss
+// rates outside [0,1), schedule/gateway mismatches, fault times past the
+// horizon — comes back as one joined, actionable error.
+func RunE(cfg Config) (Result, error) { return scenario.RunE(cfg) }
 
 // RunMany runs independent scenarios on a bounded worker pool and returns
 // their results in input order. workers <= 0 uses one worker per CPU;
@@ -176,8 +221,19 @@ func Run(cfg Config) Result { return scenario.Run(cfg) }
 func RunMany(workers int, cfgs []Config) []Result { return scenario.RunMany(workers, cfgs) }
 
 // Build constructs the network for cfg without starting traffic, for callers
-// that want to inject failures, attackers or custom workloads first.
+// that want to inject attackers or custom workloads first. It panics on an
+// invalid configuration; use BuildE for the error-returning form.
+//
+// Scheduled failures are better expressed declaratively via Config.Faults,
+// which keeps runs reproducible under RunMany and yields a Reliability
+// summary. The imperative hooks remain for what a schedule cannot express:
+// Config.Mutate for installing adversary stacks, trace taps and replayers
+// once the network exists, and Config.StackWrapper for compromising a
+// subset of otherwise-legitimate nodes in place (insider attacks).
 func Build(cfg Config) *Net { return scenario.Build(cfg) }
+
+// BuildE is Build with error reporting instead of panics.
+func BuildE(cfg Config) (*Net, error) { return scenario.BuildE(cfg) }
 
 // GatewayID returns the node ID of the i-th gateway in a scenario.
 func GatewayID(i int) NodeID { return scenario.GatewayID(i) }
@@ -328,7 +384,7 @@ type Graph = network.Graph
 // GraphFromWorld builds the sensor-layer connectivity graph of a world.
 func GraphFromWorld(w *World) *Graph { return network.FromWorld(w) }
 
-// Experiments exposes the reproduction suite (E1..E12) programmatically;
+// Experiments exposes the reproduction suite (E1..E13) programmatically;
 // cmd/wmsnbench is its CLI.
 type (
 	// Experiment is one reproduction experiment.

@@ -80,7 +80,7 @@ func TestMeshFacade(t *testing.T) {
 }
 
 func TestExperimentSuiteExposed(t *testing.T) {
-	if got := len(wmsn.AllExperiments()); got != 12 {
+	if got := len(wmsn.AllExperiments()); got != 13 {
 		t.Fatalf("suite has %d experiments", got)
 	}
 }
