@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover vet race bench bench-json experiments experiments-quick faults fuzz examples clean
+.PHONY: all build test test-short cover vet race bench bench-json bench-arq experiments experiments-quick faults soak fuzz examples clean
 
 all: build test
 
@@ -39,6 +39,14 @@ bench-json:
 	$(GO) run ./cmd/benchjson -prev BENCH_seed.json < bench_output.txt > BENCH_baseline.json
 	rm -f bench_output.txt
 
+# Link-ARQ hot-path A/B snapshot (BENCH_arq.json): the dormant-ARQ variant
+# against the committed baseline (must be within noise), the armed variant
+# quantifying ACK/queue overhead, and the lossy variant showing the payoff.
+bench-arq:
+	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem . > bench_output.txt
+	$(GO) run ./cmd/benchjson -prev BENCH_baseline.json < bench_output.txt > BENCH_arq.json
+	rm -f bench_output.txt
+
 # Regenerate every reproduced table/figure at full scale (~8 minutes).
 experiments:
 	$(GO) run ./cmd/wmsnbench
@@ -52,6 +60,12 @@ faults:
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race -run 'Fault|Churn|FailsOver|Validate|RunE' ./internal/scenario/
 	$(GO) test -race -run 'ReHeals|Resume' ./internal/mesh/
+
+# Seeded chaos/soak harness under the race detector: randomized fault
+# plans on lossy media with link ARQ armed, structural invariants
+# (conservation ledger, queue drain, timer hygiene) checked per trial.
+soak:
+	$(GO) test -race -v -run 'Soak|InvariantViolation' ./internal/chaos/ -soak.trials=16
 
 # Short fuzzing pass over every wire-format parser.
 fuzz:

@@ -137,6 +137,48 @@ func BenchmarkExperimentParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEndARQ is the link-ARQ hot-path A/B. The "off" variant is
+// the exact BenchmarkEndToEndSPR workload (ARQ disabled by default), so
+// comparing the two quantifies what the ARQ code paths cost when dormant —
+// it must stay within noise. The "on" variant arms the retransmit machine
+// on the same clean medium (overhead = ACK traffic plus queue bookkeeping),
+// and "on-lossy" shows what the reliability actually buys at 20% per-link
+// loss, with delivery reported alongside the timing.
+func BenchmarkEndToEndARQ(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		loss    float64
+		retries int
+	}{{"off", 0, 0}, {"on", 0, 4}, {"on-lossy", 0.2, 4}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var delivery float64
+			var retries uint64
+			for i := 0; i < b.N; i++ {
+				cfg := wmsn.Config{
+					Seed: int64(i + 1), Protocol: wmsn.SPR,
+					NumSensors: 80, Side: 180, SensorRange: 40, NumGateways: 3,
+					ReportInterval: 10 * wmsn.Second, RunFor: 60 * wmsn.Second,
+					SensorBattery: 1e6, LossRate: v.loss,
+				}
+				if v.retries > 0 {
+					params := wmsn.DefaultParams()
+					params.LinkRetries = v.retries
+					cfg.Params = &params
+				}
+				res := wmsn.Run(cfg)
+				if res.Metrics.Delivered == 0 {
+					b.Fatal("nothing delivered")
+				}
+				delivery += res.Metrics.DeliveryRatio()
+				retries += res.Metrics.LinkRetries
+			}
+			b.ReportMetric(delivery/float64(b.N), "delivery")
+			b.ReportMetric(float64(retries)/float64(b.N), "link-retries/run")
+		})
+	}
+}
+
 // BenchmarkAblationShortcut quantifies the Property-1 shortcut (cached-route
 // nodes answering queries): the same SPR workload with and without it. The
 // tradeoff is real in both directions — the shortcut suppresses re-flooding

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"wmsn/internal/metrics"
+	"wmsn/internal/node"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -77,6 +78,20 @@ type Params struct {
 	// AdvertDeadFactor times AdvertInterval is the gateway liveness
 	// timeout; 0 selects 2.
 	AdvertDeadFactor int
+	// LinkRetries, when positive, enables hop-by-hop link-layer ARQ on
+	// every device running this protocol: unicast DATA frames are
+	// acknowledged per hop and retransmitted up to LinkRetries times with
+	// exponential backoff before the hop is declared dead and the routing
+	// layer reroutes. 0 (the default) keeps the data path fire-and-forget
+	// and byte-identical to previous revisions.
+	LinkRetries int
+	// LinkAckWait is the base link-ACK timeout (first attempt); each retry
+	// doubles it. Only read when LinkRetries > 0.
+	LinkAckWait sim.Duration
+	// ForwardQueueLimit bounds the per-node link-layer forwarding queue
+	// under ARQ; frames beyond it are dropped and counted as QueueDrops.
+	// 0 selects node.DefaultForwardQueueLimit.
+	ForwardQueueLimit int
 }
 
 // DefaultParams returns sensible defaults for the simulated radios.
@@ -89,7 +104,23 @@ func DefaultParams() Params {
 		QueueLimit:    64,
 		AckWait:       500 * sim.Millisecond,
 		DiscloseDelay: 100 * sim.Millisecond,
+		LinkAckWait:   10 * sim.Millisecond, // inert while LinkRetries == 0
 	}
+}
+
+// enableARQ arms the device's hop-by-hop link ARQ when the parameters ask
+// for it; every core stack calls this from Start so sender and receiver
+// sides of each hop agree on whether DATA frames are acknowledged.
+func enableARQ(dev *node.Device, p Params, m metrics.Sink) {
+	if p.LinkRetries <= 0 {
+		return
+	}
+	dev.EnableLinkARQ(node.ARQConfig{
+		Retries:    p.LinkRetries,
+		AckWait:    p.LinkAckWait,
+		QueueLimit: p.ForwardQueueLimit,
+		Metrics:    m,
+	})
 }
 
 // Route is one routing-table entry: the full minimum-hop path from this node

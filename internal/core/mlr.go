@@ -130,6 +130,7 @@ func NewMLRGateway(p Params, m metrics.Sink) *MLRGateway {
 func (g *MLRGateway) Start(dev *node.Device) {
 	g.dev = dev
 	g.seen = packet.NewDedupe(1 << 14)
+	enableARQ(dev, g.Params, g.Metrics)
 	if iv := g.Params.AdvertInterval; iv > 0 {
 		startAdverts(dev, iv, g.sendAdvert)
 	}
@@ -327,9 +328,106 @@ func NewMLRSensor(p Params, m metrics.Sink) *MLRSensor {
 func (s *MLRSensor) Start(dev *node.Device) {
 	s.dev = dev
 	s.seen = packet.NewDedupe(1 << 14)
+	enableARQ(dev, s.Params, s.Metrics)
 	if iv := s.Params.AdvertInterval; iv > 0 {
 		dev.World().Kernel().Every(iv, s.sweep)
 	}
+}
+
+// HandleLinkFailure implements node.LinkFailureHandler: link-layer ARQ gave
+// up on pkt.To, so every place whose stored route starts with that hop is
+// invalidated — table entry and activation both. Pruning the incremental
+// table is a deliberate deviation from MLR's never-rebuild property: here
+// the stored path itself is broken, not merely stale about which gateway
+// tenants the place, so keeping the entry would blackhole every later use.
+// The frame is then re-keyed to the best surviving place and re-sent; any
+// active gateway is a valid sink, so mid-path frames can redirect too.
+func (s *MLRSensor) HandleLinkFailure(pkt *packet.Packet) {
+	if pkt.Kind != packet.KindData || s.dev == nil || !s.dev.Alive() {
+		return
+	}
+	if len(pkt.Path) > 0 {
+		return // downstream source-routed frame: no alternate route exists
+	}
+	dead := pkt.To
+	bestBefore := s.BestRoute()
+	for place, r := range s.table {
+		hop := r.NextHop()
+		if cur, ok := s.active[place]; ok && hop == r.Gateway {
+			hop = cur // mirror sendData's last-hop tenant rewrite
+		}
+		if hop != dead {
+			continue
+		}
+		delete(s.table, place)
+		delete(s.active, place)
+	}
+	if bestBefore != nil && bestBefore.NextHop() == dead {
+		if s.BestRoute() != nil {
+			s.Metrics.Inc(metrics.Reroutes)
+		} else if !s.rerouting {
+			s.rerouting = true
+			s.lostAt = s.dev.Now()
+			if !s.discovering {
+				s.retriesLeft = s.Params.Retries
+				s.startDiscovery()
+			}
+		}
+	}
+	if _, body, ok := parsePlacePayload(pkt.Payload); ok {
+		if !s.redirectData(pkt, body, false) {
+			s.ensureDiscovery()
+		}
+	}
+}
+
+// ensureDiscovery kicks route discovery on a node left without any usable
+// route. Relays never discover on their own (only originators do), so a
+// relay whose whole table was invalidated by link-failure verdicts would
+// otherwise keep link-acknowledging frames it can only drop — a persistent
+// blackhole the upstream hops have no way to notice.
+func (s *MLRSensor) ensureDiscovery() {
+	if s.discovering {
+		return
+	}
+	s.retriesLeft = s.Params.Retries
+	s.startDiscovery()
+}
+
+// redirectData re-keys a data frame to the sensor's best active place and
+// sends it there; any deployed gateway is a valid sink, so this recovers
+// both retired frames after a link failure (decTTL false — their hop budget
+// was already charged) and frames whose place entry is gone in handleData
+// (decTTL true). The latter only runs when link ARQ is armed: the upstream
+// hop had its frame link-acknowledged by us, so dropping it would be a
+// silent blackhole no end-to-end mechanism ever notices.
+func (s *MLRSensor) redirectData(pkt *packet.Packet, body []byte, decTTL bool) bool {
+	r := s.BestRoute()
+	if r == nil {
+		return false // rediscovery in flight; this frame is lost
+	}
+	gw := r.Gateway
+	if cur, ok := s.active[r.Place]; ok {
+		gw = cur
+	}
+	to := r.NextHop()
+	if to == r.Gateway {
+		to = gw
+	}
+	fwd := pkt.Clone()
+	fwd.From = s.dev.ID()
+	fwd.To = to
+	fwd.Target = gw
+	fwd.Payload = placePayload(r.Place, body)
+	if decTTL {
+		fwd.TTL--
+		fwd.Hops++
+	}
+	if s.dev.Send(fwd) {
+		s.Metrics.Inc(metrics.DataSent)
+		return true
+	}
+	return false
 }
 
 // sweep is the periodic liveness check armed when Params.AdvertInterval is
@@ -582,7 +680,11 @@ func (s *MLRSensor) handleRReq(pkt *packet.Packet) {
 	if s.Params.NoShortcutAnswers {
 		goto reflood
 	}
-	for p, gw := range s.active {
+	// Sorted place order: each RRES transmission consumes loss draws from
+	// the kernel RNG, so answering in map order would make lossy runs
+	// nondeterministic.
+	for _, p := range s.ActivePlaces() {
+		gw := s.active[p]
 		r, ok := s.table[p]
 		if !ok || r.Gateway != gw {
 			continue
@@ -675,6 +777,7 @@ func (s *MLRSensor) handleData(pkt *packet.Packet) {
 		return
 	}
 	if pkt.TTL <= 1 {
+		s.Metrics.Inc(metrics.ForwardTTLExpired)
 		return
 	}
 	if len(pkt.Path) > 0 {
@@ -693,12 +796,16 @@ func (s *MLRSensor) handleData(pkt *packet.Packet) {
 		}
 		return
 	}
-	place, _, ok := parsePlacePayload(pkt.Payload)
+	place, body, ok := parsePlacePayload(pkt.Payload)
 	if !ok {
 		return
 	}
 	r, entry := s.table[place]
 	if !entry {
+		if s.Params.LinkRetries > 0 && !s.redirectData(pkt, body, true) {
+			s.Metrics.Inc(metrics.ForwardNoEntry)
+			s.ensureDiscovery()
+		}
 		return
 	}
 	fwd := pkt.Clone()

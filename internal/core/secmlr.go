@@ -141,6 +141,7 @@ func NewSecMLRGateway(p Params, m metrics.Sink, keys *GatewayKeys) *SecMLRGatewa
 func (g *SecMLRGateway) Start(dev *node.Device) {
 	g.dev = dev
 	g.seen = packet.NewDedupe(1 << 14)
+	enableARQ(dev, g.Params, g.Metrics)
 }
 
 // Place returns the current feasible-place index (-1 before deployment).
@@ -514,6 +515,41 @@ func NewSecMLRSensor(p Params, m metrics.Sink, keys *SensorKeys) *SecMLRSensor {
 func (s *SecMLRSensor) Start(dev *node.Device) {
 	s.dev = dev
 	s.seen = packet.NewDedupe(1 << 14)
+	enableARQ(dev, s.Params, s.Metrics)
+}
+
+// HandleLinkFailure implements node.LinkFailureHandler. SecMLR already has
+// an end-to-end recovery path — the per-packet AckWait timer and
+// multi-route failover (§6.2.3) — so the link layer only sharpens it:
+// routes through the dead hop are forgotten, and for the sensor's own data
+// the failover fires immediately instead of waiting out the full AckWait.
+// Failed failovers stay accounted as Failovers/AbandonedData, never as
+// Reroutes: the two counters keep their PR 3 meanings.
+func (s *SecMLRSensor) HandleLinkFailure(pkt *packet.Packet) {
+	if pkt.Kind != packet.KindData || s.dev == nil || !s.dev.Alive() {
+		return
+	}
+	dead := pkt.To
+	for place, r := range s.verified {
+		if r.NextHop() == dead {
+			delete(s.verified, place)
+		}
+	}
+	for k, r := range s.table {
+		if r.NextHop() == dead {
+			delete(s.table, k)
+		}
+	}
+	if pkt.Origin != s.dev.ID() {
+		return // mid-path frame: the origin's AckWait failover recovers it
+	}
+	if tx, ok := s.pending[pkt.Seq]; ok {
+		if tx.timer != nil {
+			tx.timer.Stop()
+			tx.timer = nil
+		}
+		s.failover(pkt.Seq)
+	}
 }
 
 // ForwardingTableSize returns the number of per-flow forwarding entries.

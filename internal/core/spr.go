@@ -58,6 +58,7 @@ func NewSPRSensor(p Params, m metrics.Sink) *SPRSensor {
 func (s *SPRSensor) Start(dev *node.Device) {
 	s.dev = dev
 	s.seen = packet.NewDedupe(1 << 14)
+	enableARQ(dev, s.Params, s.Metrics)
 	if iv := s.Params.AdvertInterval; iv > 0 {
 		dev.World().Kernel().Every(iv, s.sweep)
 	}
@@ -213,6 +214,78 @@ func (s *SPRSensor) sweep() {
 	if !s.discovering {
 		s.retriesLeft = s.Params.Retries
 		s.startDiscovery()
+	}
+}
+
+// HandleLinkFailure implements node.LinkFailureHandler: the link layer
+// exhausted its ARQ retry budget sending pkt to pkt.To, so that hop is
+// treated as dead. Every cached route through it is dropped and the frame
+// is re-sent along the best surviving route when one exists. Losing the
+// active route with no alternative falls into the same rerouting/lostAt
+// state the advert sweep uses, so decide() credits exactly one reroute no
+// matter which detector — ARQ exhaustion or advert expiry — fired first.
+func (s *SPRSensor) HandleLinkFailure(pkt *packet.Packet) {
+	if pkt.Kind != packet.KindData || s.dev == nil || !s.dev.Alive() {
+		return
+	}
+	dead := pkt.To
+	wasBest := s.best != nil && s.best.NextHop() == dead
+	for gw, r := range s.table {
+		if r.NextHop() == dead {
+			delete(s.table, gw)
+		}
+	}
+	if wasBest {
+		s.best = nil
+		rs := make([]Route, 0, len(s.table))
+		for _, r := range s.table {
+			rs = append(rs, r)
+		}
+		if next := bestOf(rs); next != nil {
+			// Replacement installed the instant the loss was detected; the
+			// failover latency is zero by construction.
+			s.best = next
+			s.routeFresh = true
+			s.Metrics.Inc(metrics.Reroutes)
+		} else if !s.rerouting {
+			s.rerouting = true
+			s.lostAt = s.dev.Now()
+			if !s.discovering {
+				s.retriesLeft = s.Params.Retries
+				s.startDiscovery()
+			}
+		}
+	}
+	// Recover the frame itself. Own data restarts on the new best route;
+	// mid-path data re-forwards from a surviving table entry. The carried
+	// path installs forwarding state downstream (step 5.2), exactly like
+	// the first packet after discovery.
+	if pkt.Origin == s.dev.ID() {
+		if s.best == nil {
+			return // rediscovery in flight; this reading is lost
+		}
+		fwd := pkt.Clone()
+		fwd.From = s.dev.ID()
+		fwd.To = s.best.NextHop()
+		fwd.Target = s.best.Gateway
+		fwd.TTL = s.Params.TTL
+		fwd.Path = append([]packet.NodeID(nil), s.best.Path...)
+		s.routeFresh = false
+		if s.dev.Send(fwd) {
+			s.Metrics.Inc(metrics.DataSent)
+		}
+		return
+	}
+	r, ok := s.table[pkt.Target]
+	if !ok {
+		return // no surviving route for this flow; the frame is lost here
+	}
+	fwd := pkt.Clone()
+	fwd.From = s.dev.ID()
+	fwd.To = r.NextHop()
+	fwd.Path = append([]packet.NodeID(nil), r.Path...)
+	if s.dev.Send(fwd) {
+		s.Metrics.Inc(metrics.DataSent)
 	}
 }
 
@@ -419,6 +492,9 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 	// Path-less packet: forward from the local table (step 5.3).
 	r, ok := s.table[pkt.Target]
 	if !ok {
+		if s.Params.LinkRetries > 0 && s.redirectData(pkt) {
+			return
+		}
 		s.Metrics.Inc(metrics.ForwardNoEntry)
 		return
 	}
@@ -430,6 +506,35 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 	if s.dev.Send(fwd) {
 		s.Metrics.Inc(metrics.DataSent)
 	}
+}
+
+// redirectData re-targets a data frame this node can no longer forward —
+// typically because a link-failure verdict invalidated its entry for
+// pkt.Target — to the best surviving gateway, carrying the path so
+// downstream tables re-install. Only used when link ARQ is armed: the
+// upstream hop had its frame link-acknowledged by us, so dropping it here
+// would be a silent blackhole no end-to-end mechanism ever notices.
+func (s *SPRSensor) redirectData(pkt *packet.Packet) bool {
+	rs := make([]Route, 0, len(s.table))
+	for _, r := range s.table {
+		rs = append(rs, r)
+	}
+	r := bestOf(rs)
+	if r == nil {
+		return false
+	}
+	fwd := pkt.Clone()
+	fwd.From = s.dev.ID()
+	fwd.To = r.NextHop()
+	fwd.Target = r.Gateway
+	fwd.Path = append([]packet.NodeID(nil), r.Path...)
+	fwd.TTL--
+	fwd.Hops++
+	if s.dev.Send(fwd) {
+		s.Metrics.Inc(metrics.DataSent)
+		return true
+	}
+	return false
 }
 
 func indexOf(path []packet.NodeID, id packet.NodeID) int {
@@ -464,6 +569,7 @@ func NewSPRGateway(p Params, m metrics.Sink) *SPRGateway {
 func (g *SPRGateway) Start(dev *node.Device) {
 	g.dev = dev
 	g.seen = packet.NewDedupe(1 << 14)
+	enableARQ(dev, g.Params, g.Metrics)
 	if iv := g.Params.AdvertInterval; iv > 0 {
 		startAdverts(dev, iv, g.sendAdvert)
 	}

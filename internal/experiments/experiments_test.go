@@ -161,8 +161,8 @@ func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 13 {
-		t.Fatalf("suite has %d experiments, want 13", len(seen))
+	if len(seen) != 14 {
+		t.Fatalf("suite has %d experiments, want 14", len(seen))
 	}
 }
 

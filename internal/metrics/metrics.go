@@ -13,6 +13,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -51,6 +52,13 @@ const (
 	Reroutes                          // routes invalidated and replaced after a fault
 	FailoverLatencyUs                 // cumulative µs between losing a route and replacing it
 	AdvertSent                        // gateway liveness advertisements transmitted
+	LinkTxQueued                      // frames accepted into a forwarding queue (ARQ)
+	LinkAcked                         // frames confirmed by a link-layer ACK
+	LinkAckSent                       // link-layer ACK frames transmitted
+	LinkRetries                       // link-layer retransmissions after an ACK timeout
+	LinkFailures                      // frames abandoned after exhausting the retry budget
+	LinkFlushed                       // queued frames discarded when their node died
+	QueueDrops                        // frames rejected by a full forwarding queue (backpressure)
 	numCounters
 )
 
@@ -80,6 +88,13 @@ var counterNames = [numCounters]string{
 	Reroutes:           "reroutes",
 	FailoverLatencyUs:  "failover_latency_us",
 	AdvertSent:         "advert_sent",
+	LinkTxQueued:       "link_tx_queued",
+	LinkAcked:          "link_acked",
+	LinkAckSent:        "link_ack_sent",
+	LinkRetries:        "link_retries",
+	LinkFailures:       "link_failures",
+	LinkFlushed:        "link_flushed",
+	QueueDrops:         "queue_drops",
 }
 
 // String returns the stable snake_case name used in Snapshot JSON.
@@ -158,6 +173,14 @@ type Memory struct {
 	FailoverLatencyUs uint64 // cumulative µs between losing a route and replacing it
 	AdvertSent        uint64 // gateway liveness advertisements transmitted
 
+	LinkTxQueued uint64 // frames accepted into a forwarding queue (ARQ)
+	LinkAcked    uint64 // frames confirmed by a link-layer ACK
+	LinkAckSent  uint64 // link-layer ACK frames transmitted
+	LinkRetries  uint64 // link-layer retransmissions after an ACK timeout
+	LinkFailures uint64 // frames abandoned after exhausting the retry budget
+	LinkFlushed  uint64 // queued frames discarded when their node died
+	QueueDrops   uint64 // frames rejected by a full forwarding queue (backpressure)
+
 	pending    map[floodKey]pendingData
 	latencies  []sim.Duration
 	hops       []int
@@ -229,6 +252,20 @@ func (m *Memory) counterPtr(c Counter) *uint64 {
 		return &m.FailoverLatencyUs
 	case AdvertSent:
 		return &m.AdvertSent
+	case LinkTxQueued:
+		return &m.LinkTxQueued
+	case LinkAcked:
+		return &m.LinkAcked
+	case LinkAckSent:
+		return &m.LinkAckSent
+	case LinkRetries:
+		return &m.LinkRetries
+	case LinkFailures:
+		return &m.LinkFailures
+	case LinkFlushed:
+		return &m.LinkFlushed
+	case QueueDrops:
+		return &m.QueueDrops
 	}
 	return nil
 }
@@ -385,6 +422,20 @@ func (m *Memory) GatewayLoadImbalance() float64 {
 	}
 	mean := float64(total) / float64(len(m.perGateway))
 	return float64(max) / mean
+}
+
+// CheckLinkConservation verifies the ARQ ledger: every frame accepted into a
+// forwarding queue (LinkTxQueued) must be accounted for exactly once — acked,
+// declared failed after exhausting retries, flushed by its node's death, or
+// still sitting in a queue (inFlight, summed over live nodes by the caller).
+// A non-nil error means frames were silently created or destroyed.
+func (m *Memory) CheckLinkConservation(inFlight uint64) error {
+	settled := m.LinkAcked + m.LinkFailures + m.LinkFlushed
+	if m.LinkTxQueued != settled+inFlight {
+		return fmt.Errorf("metrics: link ledger out of balance: queued=%d != acked=%d + failed=%d + flushed=%d + in-flight=%d",
+			m.LinkTxQueued, m.LinkAcked, m.LinkFailures, m.LinkFlushed, inFlight)
+	}
+	return nil
 }
 
 // ControlPackets returns total control-plane transmissions.

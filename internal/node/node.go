@@ -90,6 +90,7 @@ type Device struct {
 
 	stack       Stack
 	meshHandler func(*packet.Packet)
+	arq         *arqState // hop-by-hop link ARQ; nil unless enabled (arq.go)
 
 	alive bool
 	// Saved attachment state so a dead device can Recover: positions and
@@ -171,7 +172,26 @@ func (d *Device) After(delay sim.Duration, fn func()) *sim.Timer {
 // energy. It reports whether the transmission happened (false when the
 // device is dead, detached from the sensor medium, or the battery browned
 // out mid-packet, which also kills the device).
+//
+// With link-layer ARQ enabled (EnableLinkARQ), eligible frames — unicast
+// DATA — are instead admitted to the bounded forwarding queue: true means
+// accepted for reliable delivery (transmission may be deferred behind the
+// frame in flight), false means the queue is full and the frame was dropped
+// under backpressure.
 func (d *Device) Send(pkt *packet.Packet) bool {
+	if !d.alive || d.sensorSt == nil {
+		return false
+	}
+	if d.arq != nil && arqEligible(pkt) {
+		return d.arqEnqueue(pkt)
+	}
+	return d.transmitSensor(pkt)
+}
+
+// transmitSensor is the raw sensor-layer transmission path: charge energy,
+// account, and put the frame on the air. ARQ retransmissions and LINK-ACKs
+// come through here directly, bypassing the queue.
+func (d *Device) transmitSensor(pkt *packet.Packet) bool {
 	if !d.alive || d.sensorSt == nil {
 		return false
 	}
@@ -251,6 +271,19 @@ func (d *Device) receive(pkt *packet.Packet) {
 	}
 	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.Promiscuous {
 		return // overheard someone else's unicast; energy spent, nothing more
+	}
+	if d.arq != nil {
+		if pkt.Kind == packet.KindLinkAck {
+			// LINK-ACKs terminate at the link layer, never at a stack.
+			d.RecvPackets++
+			if pkt.To == d.id {
+				d.arqHandleAck(pkt)
+			}
+			return
+		}
+		if pkt.To == d.id && arqEligible(pkt) && !d.arqAckAndFilter(pkt) {
+			return // duplicate (re-ACKed) or the ACK drained the battery
+		}
 	}
 	d.RecvPackets++
 	d.world.emitTrace("rx", d.id, pkt, "")
@@ -515,6 +548,7 @@ func (w *World) kill(d *Device, cause DeathCause) {
 		return
 	}
 	d.alive = false
+	d.arqFlush()
 	d.lastPos = d.Pos()
 	d.hadSensorSt, d.hadMesh = d.sensorSt != nil, d.meshSt != nil
 	if d.sensorSt != nil {

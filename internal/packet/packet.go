@@ -50,12 +50,13 @@ const (
 	KindRRes         // routing response, unicast back along the path
 	KindData         // sensed data
 	KindNotify       // gateway movement notification (MLR round start)
-	KindAck          // link/end-to-end acknowledgment
+	KindAck          // end-to-end acknowledgment (SecMLR)
 	KindMeshLSA      // mesh-backbone link-state advertisement
+	KindLinkAck      // hop-by-hop link-layer acknowledgment (ARQ)
 	kindMax
 )
 
-var kindNames = [...]string{"INVALID", "HELLO", "RREQ", "RRES", "DATA", "NOTIFY", "ACK", "MESH-LSA"}
+var kindNames = [...]string{"INVALID", "HELLO", "RREQ", "RRES", "DATA", "NOTIFY", "ACK", "MESH-LSA", "LINK-ACK"}
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {

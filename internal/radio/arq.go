@@ -1,0 +1,61 @@
+package radio
+
+import (
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Link-layer ARQ frame and timing helpers. The retransmit state machine
+// itself lives in internal/node (it owns the per-node queue and timers); the
+// radio layer defines what an acknowledgment frame looks like on the air and
+// how the ACK-wait grows across attempts, since both are properties of the
+// medium rather than of any one protocol stack.
+
+// LinkAckFor builds the hop-by-hop acknowledgment for a received frame:
+// a minimal header-only packet from the receiver back to the immediate
+// sender, echoing the (Origin, Seq) pair the sender is waiting on. It is
+// link-local (TTL 1) and never forwarded or acknowledged itself.
+func LinkAckFor(pkt *packet.Packet, acker packet.NodeID) *packet.Packet {
+	return &packet.Packet{
+		Kind:   packet.KindLinkAck,
+		From:   acker,
+		To:     pkt.From,
+		Origin: pkt.Origin,
+		Target: pkt.Target,
+		Seq:    pkt.Seq,
+		TTL:    1,
+	}
+}
+
+// AckMatches reports whether ack acknowledges the outstanding frame pkt:
+// it must come from the hop pkt was addressed to and echo pkt's end-to-end
+// identity. Stale ACKs (from an earlier transmission of a frame that has
+// since been retired) fail the match and are ignored.
+func AckMatches(ack, pkt *packet.Packet) bool {
+	return ack.Kind == packet.KindLinkAck &&
+		ack.From == pkt.To && ack.Origin == pkt.Origin && ack.Seq == pkt.Seq
+}
+
+// maxBackoffShift caps the exponential growth of the ACK wait: beyond six
+// doublings the timer is dominated by queueing anyway, and an unbounded
+// shift would overflow sim.Duration.
+const maxBackoffShift = 6
+
+// RetryBackoff returns how long to wait for an ACK after the given
+// transmission attempt (attempt 0 is the first transmission). The schedule
+// is a deterministic binary exponential — base, 2·base, 4·base, ... capped
+// at 64·base — computed from the attempt number alone: no randomness, so
+// ARQ timers never perturb the seeded RNG streams and runs stay
+// bit-identical across worker counts.
+func RetryBackoff(base sim.Duration, attempt int) sim.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
+	}
+	return base << uint(attempt)
+}

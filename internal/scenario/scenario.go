@@ -260,6 +260,17 @@ func (cfg Config) Validate() error {
 	if c.TEEN != nil && c.TEEN.Field == nil {
 		fail("TEEN reporting configured with a nil Field — nothing to sense")
 	}
+	if p := c.Params; p != nil {
+		if p.LinkRetries < 0 {
+			fail("Params.LinkRetries %d is negative — 0 disables link ARQ", p.LinkRetries)
+		}
+		if p.LinkRetries > 0 && p.LinkAckWait <= 0 {
+			fail("Params.LinkAckWait %v with LinkRetries %d — retransmissions need a positive ACK timeout", p.LinkAckWait, p.LinkRetries)
+		}
+		if p.ForwardQueueLimit < 0 {
+			fail("Params.ForwardQueueLimit %d is negative — 0 selects the default bound", p.ForwardQueueLimit)
+		}
+	}
 	if err := c.Faults.Validate(c.RunFor); err != nil {
 		errs = append(errs, err)
 	}
@@ -479,6 +490,11 @@ type Result struct {
 	SensorsAlive int
 	SensorsTotal int
 	Elapsed      sim.Time
+	// LinkInFlight is the number of frames still occupying link-ARQ
+	// forwarding queues when the run ended (always 0 with ARQ disabled).
+	// A horizon-bounded run can legitimately end mid-flight; this is the
+	// in-flight term for metrics.CheckLinkConservation.
+	LinkInFlight uint64
 	// Reliability summarizes fault recovery; nil unless Config.Faults was
 	// set.
 	Reliability *fault.Reliability
@@ -546,5 +562,6 @@ func (n *Net) Summarize() Result {
 		SensorsAlive: n.World.SensorsAlive(),
 		SensorsTotal: n.World.SensorsTotal(),
 		Elapsed:      n.World.Kernel().Now(),
+		LinkInFlight: n.World.LinkQueueDepth(),
 	}
 }

@@ -18,8 +18,9 @@
 //     symmetric-crypto toolkit.
 //   - Flat-architecture baselines (flooding, gossiping, direct, MCFA,
 //     LEACH), eight network-layer attacks, gateway placement models, a
-//     deterministic fault-injection subsystem (Config.Faults), and the
-//     full experiment suite (E1–E13) behind cmd/wmsnbench.
+//     deterministic fault-injection subsystem (Config.Faults), a reliable
+//     link layer with hop-by-hop ARQ (Params.LinkRetries), and the full
+//     experiment suite (E1–E14) behind cmd/wmsnbench.
 //
 // Quick start:
 //
@@ -190,6 +191,20 @@ const (
 	CtrFaultsInjected    = metrics.FaultsInjected
 	CtrReroutes          = metrics.Reroutes
 	CtrFailoverLatencyUs = metrics.FailoverLatencyUs
+)
+
+// Link-layer ARQ counters (see MetricsSnapshot.Counters), live when
+// Params.LinkRetries > 0: frames admitted to forwarding queues, per-hop
+// acknowledgments, retransmissions, dead-hop verdicts, frames flushed by
+// node death, and backpressure drops at full queues.
+const (
+	CtrLinkTxQueued = metrics.LinkTxQueued
+	CtrLinkAcked    = metrics.LinkAcked
+	CtrLinkAckSent  = metrics.LinkAckSent
+	CtrLinkRetries  = metrics.LinkRetries
+	CtrLinkFailures = metrics.LinkFailures
+	CtrLinkFlushed  = metrics.LinkFlushed
+	CtrQueueDrops   = metrics.QueueDrops
 )
 
 // DeathCause classifies why a device died.
@@ -384,7 +399,7 @@ type Graph = network.Graph
 // GraphFromWorld builds the sensor-layer connectivity graph of a world.
 func GraphFromWorld(w *World) *Graph { return network.FromWorld(w) }
 
-// Experiments exposes the reproduction suite (E1..E13) programmatically;
+// Experiments exposes the reproduction suite (E1..E14) programmatically;
 // cmd/wmsnbench is its CLI.
 type (
 	// Experiment is one reproduction experiment.
