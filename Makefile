@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover vet race bench bench-json bench-arq experiments experiments-quick faults soak fuzz examples clean
+.PHONY: all build test test-short cover vet race bench bench-json bench-arq bench-guard profile experiments experiments-quick faults soak fuzz examples clean
 
 all: build test
 
@@ -42,10 +42,28 @@ bench-json:
 # Link-ARQ hot-path A/B snapshot (BENCH_arq.json): the dormant-ARQ variant
 # against the committed baseline (must be within noise), the armed variant
 # quantifying ACK/queue overhead, and the lossy variant showing the payoff.
+# The iteration count is pinned because each iteration runs seed i+1: a fixed
+# count means a fixed seed set, making allocs/op exactly reproducible (the
+# bench-guard contract).
 bench-arq:
-	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem . > bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem -benchtime=8x . > bench_output.txt
 	$(GO) run ./cmd/benchjson -prev BENCH_baseline.json < bench_output.txt > BENCH_arq.json
 	rm -f bench_output.txt
+
+# Dormant-tracing allocation guard: with no sink attached the observability
+# layer must cost zero allocations, so the end-to-end benchmarks (same
+# pinned seed set as bench-arq) may not allocate more per op than the
+# committed BENCH_arq.json baseline.
+bench-guard:
+	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem -benchtime=8x . > bench_output.txt
+	$(GO) run ./cmd/benchjson -prev BENCH_arq.json -guard-allocs 1.0 < bench_output.txt > /dev/null
+	rm -f bench_output.txt
+
+# CPU and heap profiles of the quick experiment suite (see DESIGN.md,
+# "Profiling"); inspect with `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/wmsnbench -quick -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
 # Regenerate every reproduced table/figure at full scale (~8 minutes).
 experiments:
@@ -81,4 +99,4 @@ examples:
 	$(GO) run ./examples/building
 
 clean:
-	rm -f cover.out wmsnbench test_output.txt bench_output.txt
+	rm -f cover.out wmsnbench test_output.txt bench_output.txt cpu.prof mem.prof

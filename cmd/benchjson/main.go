@@ -54,6 +54,7 @@ type Delta struct {
 
 func main() {
 	prev := flag.String("prev", "", "previous report JSON to diff against (e.g. the seed snapshot)")
+	guard := flag.Float64("guard-allocs", 0, "exit non-zero when any benchmark shared with -prev has an allocs/op ratio (previous/current) below this; 1.0 demands no new allocations")
 	flag.Parse()
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -73,6 +74,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *guard > 0 {
+		if *prev == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -guard-allocs requires -prev")
+			os.Exit(1)
+		}
+		if !guardAllocs(os.Stderr, rep, *guard) {
+			os.Exit(1)
+		}
+	}
+}
+
+// guardAllocs reports (to w) every shared benchmark whose allocs/op ratio
+// fell below min, returning false when any did. This is the CI gate keeping
+// dormant-tracing builds allocation-identical to the committed baseline.
+func guardAllocs(w *os.File, rep *Report, min float64) bool {
+	names := make([]string, 0, len(rep.VsPrevious))
+	for name := range rep.VsPrevious {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		d := rep.VsPrevious[name]
+		if d.AllocsRatio > 0 && d.AllocsRatio < min {
+			fmt.Fprintf(w, "benchjson: %s allocs/op regressed: previous/current ratio %.4f < %.4f\n",
+				name, d.AllocsRatio, min)
+			ok = false
+		}
+	}
+	return ok
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"wmsn/internal/experiments"
 	"wmsn/internal/metrics"
+	"wmsn/internal/sim"
 	"wmsn/internal/trace"
 )
 
@@ -46,7 +49,30 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	workers := flag.Int("workers", 0, "parallel runs per experiment (0 = one per CPU, 1 = sequential); output is identical either way")
 	metricsJSON := flag.String("metrics-json", "", "write structured tables and per-experiment aggregated metrics to this file")
+	traceDir := flag.String("trace-dir", "", "spool one JSONL event trace per harness run into this directory (see cmd/wmsntrace)")
+	traceSample := flag.Float64("trace-sample", 1.0, "gauge sampling interval in seconds for traced runs (0 disables gauge samples)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the suite to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	suite := experiments.All()
 	if *list {
@@ -75,6 +101,13 @@ func main() {
 			agg = metrics.NewAggregate()
 			opts.Metrics = agg
 		}
+		if *traceDir != "" {
+			opts.Trace = &experiments.TraceDir{
+				Dir:    *traceDir,
+				Prefix: strings.ToLower(e.ID),
+				Sample: sim.Duration(*traceSample * float64(sim.Second)),
+			}
+		}
 		start := time.Now()
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
 		tables := e.Run(opts)
@@ -90,6 +123,13 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if t := opts.Trace; t != nil {
+			if err := t.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace-dir: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%s: %d trace file(s) in %s\n", e.ID, t.Files(), *traceDir)
+		}
 		if agg != nil {
 			ee := experimentExport{Title: e.Title, Metrics: agg.Snapshot()}
 			for _, tbl := range tables {
@@ -112,5 +152,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

@@ -10,13 +10,12 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"wmsn"
-	"wmsn/internal/node"
+	"wmsn/internal/obs"
 	"wmsn/internal/scenario"
 	"wmsn/internal/sim"
 	"wmsn/internal/trace"
@@ -40,7 +39,8 @@ func main() {
 		collide   = flag.Bool("collisions", false, "enable the collision model")
 		untilDead = flag.Bool("until-death", false, "stop at the first sensor battery death")
 		hotspot   = flag.Float64("hotspot", 0, "fraction of sensors packed in one corner (0 = uniform)")
-		traceFile = flag.String("trace", "", "write a packet-level event trace to this file")
+		traceFile = flag.String("trace", "", "write a JSONL event trace to this file (see cmd/wmsntrace)")
+		series    = flag.Float64("series", 0, "print a time-series table with this bucket width in seconds (enables tracing)")
 	)
 	flag.Parse()
 
@@ -76,24 +76,29 @@ func main() {
 		}
 	}
 
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wmsnsim: %v\n", err)
-			os.Exit(2)
+	var (
+		jsonl    *obs.JSONL
+		bucketed *obs.Series
+	)
+	if *traceFile != "" || *series > 0 {
+		bus := obs.NewBus()
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wmsnsim: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			jsonl = obs.NewJSONL(f)
+			bus.Attach(jsonl)
 		}
-		defer f.Close()
-		w := bufio.NewWriter(f)
-		defer w.Flush()
-		cfg.Mutate = func(n *scenario.Net) {
-			n.World.SetTrace(func(ev node.TraceEvent) {
-				if ev.Packet != nil {
-					fmt.Fprintf(w, "%s %-7s %-6s %s\n", ev.At, ev.Kind, ev.Node, ev.Packet)
-				} else {
-					fmt.Fprintf(w, "%s %-7s %-6s %s\n", ev.At, ev.Kind, ev.Node, ev.Detail)
-				}
-			})
+		if *series > 0 {
+			bucket := sim.Duration(*series * float64(sim.Second))
+			bucketed = obs.NewSeries(bucket)
+			bus.Attach(bucketed)
+			bus.Sample = bucket
 		}
+		cfg.Obs = bus
 	}
 
 	res, err := wmsn.RunE(cfg)
@@ -101,7 +106,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wmsnsim: %v\n", err)
 		os.Exit(2)
 	}
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "wmsnsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	printResult(res)
+	if bucketed != nil {
+		fmt.Println()
+		bucketed.Table(fmt.Sprintf("time series (%s, seed %d)", cfg.Protocol, cfg.Seed)).Render(os.Stdout)
+	}
 }
 
 func printResult(res scenario.Result) {

@@ -1,0 +1,146 @@
+// Command wmsntrace replays a JSONL event trace produced by a traced run
+// (wmsnsim -trace, wmsnbench -trace-dir, or any obs.JSONL sink) and answers
+// the questions end-of-run aggregates cannot: which hops one packet took and
+// how long each cost (-packet), what killed the packets that died (-drops),
+// when routes failed over (-reroutes), and how delivery evolved over time
+// (-series). With no query flag it prints the per-kind event summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wmsn/internal/obs"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+	"wmsn/internal/trace"
+)
+
+func main() {
+	pkt := flag.String("packet", "", "lifecycle of one packet, by origin:seq (e.g. 7:3 or n7:3)")
+	packets := flag.Bool("packets", false, "one-line lifecycle listing of every traced packet")
+	drops := flag.Bool("drops", false, "drop-reason breakdown")
+	reroutes := flag.Bool("reroutes", false, "reroute and fault timeline")
+	series := flag.Float64("series", 0, "time-series table with this bucket width in seconds")
+	summary := flag.Bool("summary", false, "per-kind event counts (the default query)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wmsntrace [flags] trace.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	events, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("%s: no events", flag.Arg(0)))
+	}
+
+	asked := false
+	if *pkt != "" {
+		asked = true
+		key, err := parseKey(*pkt)
+		if err != nil {
+			fatal(err)
+		}
+		life := obs.Lifecycle(events, key)
+		if len(life.Events) == 0 {
+			fatal(fmt.Errorf("packet %s not in trace", key))
+		}
+		life.Table().Render(os.Stdout)
+	}
+	if *packets {
+		asked = true
+		packetsTable(events).Render(os.Stdout)
+	}
+	if *drops {
+		asked = true
+		obs.DropTable(events).Render(os.Stdout)
+	}
+	if *reroutes {
+		asked = true
+		reroutesTable(events).Render(os.Stdout)
+	}
+	if *series > 0 {
+		asked = true
+		bucket := sim.Duration(*series * float64(sim.Second))
+		obs.ReplaySeries(events, bucket).Table("time series — " + flag.Arg(0)).Render(os.Stdout)
+	}
+	if *summary || !asked {
+		obs.SummaryTable(events).Render(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wmsntrace: %v\n", err)
+	os.Exit(1)
+}
+
+// parseKey accepts "7:3" and "n7:3" (the form PacketKey.String prints).
+func parseKey(s string) (obs.PacketKey, error) {
+	origin, seq, ok := strings.Cut(s, ":")
+	origin = strings.TrimPrefix(origin, "n")
+	if !ok {
+		return obs.PacketKey{}, fmt.Errorf("packet key %q: want origin:seq", s)
+	}
+	o, err1 := strconv.ParseUint(origin, 10, 32)
+	q, err2 := strconv.ParseUint(seq, 10, 32)
+	if err1 != nil || err2 != nil {
+		return obs.PacketKey{}, fmt.Errorf("packet key %q: want origin:seq", s)
+	}
+	return obs.PacketKey{Origin: packet.NodeID(o), Seq: uint32(q)}, nil
+}
+
+// packetsTable lists every packet's reconstructed fate, one row each.
+func packetsTable(events []obs.Event) *trace.Table {
+	tbl := trace.NewTable("packets", "packet", "generated", "status", "hops", "retries", "path")
+	lives := obs.Packets(events)
+	for _, l := range lives {
+		gen := "-"
+		if l.HasGen {
+			gen = l.Generated.String()
+		}
+		retries := 0
+		for _, h := range l.Hops {
+			retries += h.Retries
+		}
+		tbl.AddRow(l.Key.String(), gen, l.Status(),
+			strconv.Itoa(len(l.Hops)), strconv.Itoa(retries), l.PathString())
+	}
+	tbl.AddNote("%d packet(s) traced", len(lives))
+	return tbl
+}
+
+// reroutesTable renders the fault/reroute timeline: every route replacement
+// with its trigger and failover latency, interleaved with the injected
+// faults and death/recovery events that caused them.
+func reroutesTable(events []obs.Event) *trace.Table {
+	tbl := trace.NewTable("reroutes and faults", "t", "event", "node", "peer", "detail", "failover")
+	n := 0
+	for _, ev := range obs.Reroutes(events) {
+		n++
+		peer, failover := "-", "-"
+		if ev.Peer != 0 {
+			peer = ev.Peer.String()
+		}
+		if ev.Kind == obs.Reroute && ev.Value > 0 {
+			failover = sim.Duration(ev.Value).String()
+		}
+		tbl.AddRow(ev.At.String(), ev.Kind.String(), ev.Node.String(), peer, ev.Detail, failover)
+	}
+	tbl.AddNote("%d event(s)", n)
+	return tbl
+}

@@ -56,8 +56,8 @@ func ExampleConfig_faults() {
 }
 
 // ExampleBuild shows the two-phase form with the imperative hooks that a
-// declarative fault plan cannot express: Mutate taps the world once it is
-// built (here counting deliveries), and StackWrapper compromises chosen
+// declarative fault plan cannot express: Obs taps the event stream (here
+// counting deliveries at one gateway), and StackWrapper compromises chosen
 // stacks in place (here a grayhole insider dropping most forwarded data).
 func ExampleBuild() {
 	delivered := 0
@@ -75,13 +75,11 @@ func ExampleBuild() {
 			}
 			return st
 		},
-		Mutate: func(n *wmsn.Net) {
-			n.World.SetTrace(func(ev wmsn.TraceEvent) {
-				if ev.Kind == "rx" && ev.Packet != nil && ev.Node == wmsn.GatewayID(0) {
-					delivered++
-				}
-			})
-		},
+		Obs: wmsn.NewTraceBus(wmsn.TraceSinkFunc(func(ev wmsn.TraceEventRecord) {
+			if ev.Kind == wmsn.TracePacketDelivered && ev.Node == wmsn.GatewayID(0) {
+				delivered++
+			}
+		})),
 	})
 	res := net.RunTraffic()
 	fmt.Println("run completed:", res.Elapsed > 0 && delivered >= 0)

@@ -13,9 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"wmsn/internal/core"
 	"wmsn/internal/fault"
+	"wmsn/internal/obs"
 	"wmsn/internal/scenario"
 	"wmsn/internal/sim"
 )
@@ -38,6 +41,15 @@ type Options struct {
 	Protocols []scenario.Protocol
 	// Log, when non-nil, receives one line per trial (testing.T.Logf fits).
 	Log func(format string, args ...any)
+	// ArtifactDir, when non-empty, arms a flight recorder on every trial
+	// and dumps its tail to chaos-seed-<seed>.jsonl in that directory when
+	// the trial violates an invariant — the failure ships its own event
+	// history next to the seed that replays it. Empty disables recording,
+	// so plain soaks pay nothing.
+	ArtifactDir string
+	// RecorderCap bounds the flight recorder's ring buffer; 0 selects
+	// obs.DefaultRecorderCap.
+	RecorderCap int
 }
 
 // Trial summarizes one completed soak scenario.
@@ -127,6 +139,26 @@ func CheckInvariants(n *scenario.Net) error {
 	return errors.Join(errs...)
 }
 
+// DumpTail writes the flight recorder's surviving events to
+// chaos-seed-<seed>.jsonl under dir (created if needed) and returns the
+// file's path. A recorder holds the newest DefaultRecorderCap-ish events, so
+// the dump is the tail of the trial — the window right before the violation.
+func DumpTail(dir string, seed int64, rec *obs.Recorder) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-seed-%d.jsonl", seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	err = obs.WriteJSONL(f, rec.Events())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return path, err
+}
+
 // Soak runs the randomized trials and checks every invariant after each.
 // It returns the per-trial summaries and the first violation, tagged with
 // the trial seed that reproduces it.
@@ -137,6 +169,11 @@ func Soak(o Options) ([]Trial, error) {
 		seed := o.Seed + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		cfg := compose(rng, o)
+		var rec *obs.Recorder
+		if o.ArtifactDir != "" {
+			rec = obs.NewRecorder(o.RecorderCap)
+			cfg.Obs = obs.NewBus(rec)
+		}
 		n, err := scenario.BuildE(cfg)
 		if err != nil {
 			return trials, fmt.Errorf("chaos: trial seed %d: %w", seed, err)
@@ -147,6 +184,13 @@ func Soak(o Options) ([]Trial, error) {
 		n.World.Run(cfg.RunFor + o.Grace)
 		res := n.Summarize()
 		if err := CheckInvariants(n); err != nil {
+			if rec != nil {
+				if path, derr := DumpTail(o.ArtifactDir, seed, rec); derr != nil {
+					err = errors.Join(err, fmt.Errorf("chaos: dumping recorder tail: %w", derr))
+				} else {
+					err = fmt.Errorf("%w (recorder tail: %s, %d of %d events)", err, path, rec.Len(), rec.Total())
+				}
+			}
 			return trials, fmt.Errorf("chaos: trial seed %d (%s, %d sensors, loss %.2f): %w",
 				seed, cfg.Protocol, cfg.NumSensors, cfg.LossRate, err)
 		}

@@ -3,21 +3,28 @@ package chaos
 import (
 	"flag"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
+	"wmsn/internal/obs"
 	"wmsn/internal/scenario"
 	"wmsn/internal/sim"
 )
 
-var soakTrials = flag.Int("soak.trials", 6, "number of randomized soak trials")
+var (
+	soakTrials    = flag.Int("soak.trials", 6, "number of randomized soak trials")
+	soakArtifacts = flag.String("soak.artifacts", "", "directory receiving flight-recorder dumps for failing trials")
+)
 
 // TestSoak is the chaos gate: seeded randomized fault plans on lossy media
 // with link ARQ armed, every structural invariant checked after each trial.
 // CI runs it under -race via `make soak`.
 func TestSoak(t *testing.T) {
-	trials, err := Soak(Options{Seed: 20260806, Trials: *soakTrials, Log: t.Logf})
+	trials, err := Soak(Options{Seed: 20260806, Trials: *soakTrials, Log: t.Logf,
+		ArtifactDir: *soakArtifacts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,5 +92,58 @@ func TestInvariantViolationIsCaught(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "ledger") {
 		t.Fatalf("violation error %q does not name the ledger", err)
+	}
+}
+
+// TestDumpTailWritesRecorderEvents exercises the failure-artifact path: the
+// dump file must land next to the seed name and replay as valid JSONL.
+func TestDumpTailWritesRecorderEvents(t *testing.T) {
+	rec := obs.NewRecorder(4)
+	for i := 0; i < 9; i++ { // overflow the ring: only the last 4 survive
+		rec.Observe(obs.Event{At: sim.Time(i) * sim.Second, Kind: obs.LinkTx, Node: 1, Seq: uint32(i)})
+	}
+	dir := t.TempDir()
+	path, err := DumpTail(filepath.Join(dir, "nested"), 4242, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "chaos-seed-4242.jsonl" {
+		t.Fatalf("dump name = %q", filepath.Base(path))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 || events[0].Seq != 5 || events[3].Seq != 8 {
+		t.Fatalf("dump holds %d events (first %+v), want the newest 4", len(events), events[0])
+	}
+}
+
+// TestSoakRecordedMatchesBare proves arming the flight recorder does not
+// perturb a trial: same seeds, same metrics, recorder on or off.
+func TestSoakRecordedMatchesBare(t *testing.T) {
+	opt := Options{Seed: 99, Trials: 1, RunFor: 20 * sim.Second}
+	bare, err := Soak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.ArtifactDir = t.TempDir()
+	recorded, err := Soak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := bare[0].Result.Metrics.Snapshot(), recorded[0].Result.Metrics.Snapshot()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("recorder changed trial outcome:\n%+v\nvs\n%+v", sa, sb)
+	}
+	// No invariant failed, so no artifact may be written.
+	names, _ := os.ReadDir(opt.ArtifactDir)
+	if len(names) != 0 {
+		t.Fatalf("healthy soak left %d artifact(s)", len(names))
 	}
 }

@@ -365,6 +365,7 @@ func (s *MLRSensor) HandleLinkFailure(pkt *packet.Packet) {
 	if bestBefore != nil && bestBefore.NextHop() == dead {
 		if s.BestRoute() != nil {
 			s.Metrics.Inc(metrics.Reroutes)
+			traceReroute(s.dev, dead, "link_failure", 0)
 		} else if !s.rerouting {
 			s.rerouting = true
 			s.lostAt = s.dev.Now()
@@ -459,6 +460,7 @@ func (s *MLRSensor) sweep() {
 	if s.BestRoute() != nil {
 		s.Metrics.Inc(metrics.Reroutes)
 		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-lostAt))
+		traceReroute(s.dev, s.BestRoute().Gateway, "liveness", now-lostAt)
 		return
 	}
 	// No live place left: rediscover immediately instead of waiting for
@@ -598,6 +600,7 @@ func (s *MLRSensor) decide() {
 			return
 		}
 		s.Metrics.Add(metrics.DroppedNoRoute, uint64(len(s.queue)))
+		traceExpiredBatch(s.dev, len(s.queue), "no_route")
 		s.queue = nil
 		return
 	}
@@ -605,6 +608,7 @@ func (s *MLRSensor) decide() {
 		s.rerouting = false
 		s.Metrics.Inc(metrics.Reroutes)
 		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(s.dev.Now()-s.lostAt))
+		traceReroute(s.dev, best.Gateway, "rediscovery", s.dev.Now()-s.lostAt)
 	}
 	for _, p := range s.queue {
 		s.sendData(p, best)
@@ -778,6 +782,7 @@ func (s *MLRSensor) handleData(pkt *packet.Packet) {
 	}
 	if pkt.TTL <= 1 {
 		s.Metrics.Inc(metrics.ForwardTTLExpired)
+		traceExpired(s.dev, pkt, "ttl")
 		return
 	}
 	if len(pkt.Path) > 0 {
@@ -804,6 +809,7 @@ func (s *MLRSensor) handleData(pkt *packet.Packet) {
 	if !entry {
 		if s.Params.LinkRetries > 0 && !s.redirectData(pkt, body, true) {
 			s.Metrics.Inc(metrics.ForwardNoEntry)
+			traceExpired(s.dev, pkt, "no_entry")
 			s.ensureDiscovery()
 		}
 		return

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"wmsn/internal/node"
+	"wmsn/internal/obs"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Tracing helpers for the routing stacks. The stacks reach the world's
+// observability bus through their device, so no plumbing rides on Params or
+// the protocol registry; each helper is one call + one branch when tracing
+// is off, and none are on the per-frame hot path (reroutes and drops are
+// rare by construction).
+
+// traceReroute emits a Reroute event: the stack on dev replaced its route,
+// now pointing at peer (the new gateway, or the dead hop being routed
+// around). detail names the mechanism ("liveness", "sweep", "link_failure",
+// "ack_failover", "round"); latency is the failover gap in virtual µs when
+// known, 0 for immediate replacements.
+func traceReroute(dev *node.Device, peer packet.NodeID, detail string, latency sim.Duration) {
+	if dev == nil {
+		return
+	}
+	b := dev.World().Obs()
+	if !b.Active() {
+		return
+	}
+	b.Emit(obs.Event{
+		At: dev.Now(), Kind: obs.Reroute, Node: dev.ID(), Peer: peer,
+		Detail: detail, Value: int64(latency),
+	})
+}
+
+// traceExpired emits a PacketExpired event for one identified packet dying
+// mid-path on dev (TTL exhaustion, missing table entry, malformed path).
+func traceExpired(dev *node.Device, pkt *packet.Packet, detail string) {
+	if dev == nil {
+		return
+	}
+	b := dev.World().Obs()
+	if !b.Active() {
+		return
+	}
+	b.Emit(obs.Event{
+		At: dev.Now(), Kind: obs.PacketExpired, Node: dev.ID(),
+		Origin: pkt.Origin, Seq: pkt.Seq, Detail: detail,
+	})
+}
+
+// traceExpiredBatch emits one PacketExpired event covering n queued
+// originations abandoned together (e.g. a discovery giving up with a full
+// queue). The payloads have no sequence numbers yet, so the event carries a
+// count instead of a packet identity.
+func traceExpiredBatch(dev *node.Device, n int, detail string) {
+	if dev == nil || n == 0 {
+		return
+	}
+	b := dev.World().Obs()
+	if !b.Active() {
+		return
+	}
+	b.Emit(obs.Event{
+		At: dev.Now(), Kind: obs.PacketExpired, Node: dev.ID(),
+		Detail: detail, Value: int64(n),
+	})
+}

@@ -694,6 +694,7 @@ func (s *SecMLRSensor) decide() {
 			return
 		}
 		s.Metrics.Add(metrics.DroppedNoRoute, uint64(len(s.queue)))
+		traceExpiredBatch(s.dev, len(s.queue), "no_route")
 		s.queue = nil
 		return
 	}
@@ -760,9 +761,11 @@ func (s *SecMLRSensor) failover(seq uint32) {
 	if next == nil {
 		delete(s.pending, seq)
 		s.Metrics.Inc(metrics.AbandonedData)
+		traceExpiredBatch(s.dev, 1, "abandoned")
 		return
 	}
 	s.Metrics.Inc(metrics.Failovers)
+	traceReroute(s.dev, next.Gateway, "ack_failover", 0)
 	s.sendData(tx.payload, next, tx)
 }
 

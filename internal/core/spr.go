@@ -138,6 +138,7 @@ func (s *SPRSensor) decide() {
 			return
 		}
 		s.Metrics.Add(metrics.DroppedNoRoute, uint64(len(s.queue)))
+		traceExpiredBatch(s.dev, len(s.queue), "no_route")
 		s.queue = nil
 		return
 	}
@@ -159,6 +160,7 @@ func (s *SPRSensor) decide() {
 			s.rerouting = false
 			s.Metrics.Inc(metrics.Reroutes)
 			s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-s.lostAt))
+			traceReroute(s.dev, best.Gateway, "rediscovery", now-s.lostAt)
 		}
 	}
 	for _, p := range s.queue {
@@ -204,6 +206,7 @@ func (s *SPRSensor) sweep() {
 		s.routeFresh = true
 		s.Metrics.Inc(metrics.Reroutes)
 		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-lostAt))
+		traceReroute(s.dev, next.Gateway, "liveness", now-lostAt)
 		return
 	}
 	// No cached alternative: rediscover immediately instead of waiting for
@@ -247,6 +250,7 @@ func (s *SPRSensor) HandleLinkFailure(pkt *packet.Packet) {
 			s.best = next
 			s.routeFresh = true
 			s.Metrics.Inc(metrics.Reroutes)
+			traceReroute(s.dev, dead, "link_failure", 0)
 		} else if !s.rerouting {
 			s.rerouting = true
 			s.lostAt = s.dev.Now()
@@ -455,6 +459,7 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 	}
 	if pkt.TTL <= 1 {
 		s.Metrics.Inc(metrics.ForwardTTLExpired)
+		traceExpired(s.dev, pkt, "ttl")
 		return
 	}
 	if len(pkt.Path) > 0 {
@@ -463,6 +468,7 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 		idx := indexOf(pkt.Path, s.dev.ID())
 		if idx < 0 || idx+1 >= len(pkt.Path) {
 			s.Metrics.Inc(metrics.ForwardSelfLoop)
+			traceExpired(s.dev, pkt, "self_loop")
 			return
 		}
 		suffix := append([]packet.NodeID(nil), pkt.Path[idx:]...)
@@ -496,6 +502,7 @@ func (s *SPRSensor) handleData(pkt *packet.Packet) {
 			return
 		}
 		s.Metrics.Inc(metrics.ForwardNoEntry)
+		traceExpired(s.dev, pkt, "no_entry")
 		return
 	}
 	fwd := pkt.Clone()

@@ -6,9 +6,15 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+
 	"wmsn/internal/metrics"
+	"wmsn/internal/obs"
 	"wmsn/internal/runner"
 	"wmsn/internal/scenario"
+	"wmsn/internal/sim"
 	"wmsn/internal/trace"
 )
 
@@ -33,7 +39,57 @@ type Opts struct {
 	// worker count. Sweep jobs that drive scenarios inside custom per-job
 	// code (e.g. mid-run failure injection) are not captured.
 	Metrics *metrics.Aggregate
+	// Trace, when non-nil, spools one JSONL event trace per harness run.
+	// The same caveat as Metrics applies: only runs through runConfigs are
+	// traced. Runs keep their events in memory (one obs.Capture each) and
+	// files are written in submission order after the pool drains, so the
+	// spool contents are byte-identical at any worker count.
+	Trace *TraceDir
 }
+
+// TraceDir spools per-run observability traces into a directory, one
+// `<prefix>-run-NNNN.jsonl` file per scenario executed through runConfigs.
+type TraceDir struct {
+	// Dir receives the trace files; it must already exist.
+	Dir string
+	// Prefix namespaces the files (typically the experiment ID); empty
+	// yields plain run-NNNN.jsonl names.
+	Prefix string
+	// Sample is the kernel gauge sampling interval forwarded to the bus
+	// (obs.Bus.Sample); 0 disables gauge samples.
+	Sample sim.Duration
+	n      int
+	err    error
+}
+
+// write serializes one run's events to the next numbered file. The first
+// error latches and suppresses further writes.
+func (t *TraceDir) write(events []obs.Event) {
+	if t.err != nil {
+		return
+	}
+	name := fmt.Sprintf("run-%04d.jsonl", t.n)
+	if t.Prefix != "" {
+		name = t.Prefix + "-" + name
+	}
+	t.n++
+	f, err := os.Create(filepath.Join(t.Dir, name))
+	if err != nil {
+		t.err = err
+		return
+	}
+	err = obs.WriteJSONL(f, events)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	t.err = err
+}
+
+// Files reports how many trace files were written.
+func (t *TraceDir) Files() int { return t.n }
+
+// Err returns the first write error, if any.
+func (t *TraceDir) Err() error { return t.err }
 
 func (o Opts) seeds(def int) int {
 	if o.Seeds > 0 {
@@ -64,11 +120,24 @@ func forEach[T any](o Opts, n int, job func(i int) T) []T {
 // When Opts.Metrics is set, every run's metrics fold into the aggregate in
 // cfgs order before the results are returned.
 func runConfigs(o Opts, cfgs []scenario.Config) []scenario.Result {
+	var caps []*obs.Capture
+	if o.Trace != nil {
+		caps = make([]*obs.Capture, len(cfgs))
+		for i := range cfgs {
+			caps[i] = &obs.Capture{}
+			bus := obs.NewBus(caps[i])
+			bus.Sample = o.Trace.Sample
+			cfgs[i].Obs = bus
+		}
+	}
 	results := scenario.RunMany(o.Workers, cfgs)
 	if o.Metrics != nil {
 		for i := range results {
 			o.Metrics.Absorb(results[i].Metrics)
 		}
+	}
+	for _, c := range caps {
+		o.Trace.write(c.Events)
 	}
 	return results
 }

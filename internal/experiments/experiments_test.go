@@ -4,11 +4,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"wmsn/internal/network"
 	"wmsn/internal/packet"
+	"wmsn/internal/sim"
 	"wmsn/internal/trace"
 )
 
@@ -200,5 +202,56 @@ func TestGoldenOutputQuick(t *testing.T) {
 	if got != string(want) {
 		t.Fatalf("quick output diverged from %s (run with -update to accept):\ngot %d bytes, want %d bytes",
 			golden, len(got), len(want))
+	}
+}
+
+// TestTraceSpoolByteIdenticalAcrossWorkers pins the tracing determinism
+// contract end-to-end: the same experiment, traced at workers=1 and
+// workers=8, must spool byte-identical JSONL files (captures are written in
+// submission order, and each run's event stream is a pure function of its
+// config).
+func TestTraceSpoolByteIdenticalAcrossWorkers(t *testing.T) {
+	spool := func(workers int) map[string]string {
+		dir := t.TempDir()
+		tr := &TraceDir{Dir: dir, Prefix: "e13", Sample: sim.Second}
+		E13Reliability(Opts{Quick: true, Seeds: 1, Workers: workers, Trace: tr})
+		if err := tr.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Files() == 0 {
+			t.Fatal("no trace files spooled")
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]string{}
+		for _, e := range entries {
+			buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = string(buf)
+		}
+		return out
+	}
+	seq, par := spool(1), spool(8)
+	if len(seq) != len(par) {
+		t.Fatalf("file counts differ: %d vs %d", len(seq), len(par))
+	}
+	for name, body := range seq {
+		if par[name] != body {
+			t.Fatalf("trace %s differs between workers=1 and workers=8", name)
+		}
+	}
+	// The traces must actually contain the fault story E13 injects.
+	joined := ""
+	for _, body := range seq {
+		joined += body
+	}
+	for _, kind := range []string{"gateway_death", "reroute", "packet_delivered"} {
+		if !strings.Contains(joined, kind) {
+			t.Fatalf("spooled traces never mention %q", kind)
+		}
 	}
 }

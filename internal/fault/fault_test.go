@@ -8,6 +8,7 @@ import (
 	"wmsn/internal/geom"
 	"wmsn/internal/metrics"
 	"wmsn/internal/node"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -189,19 +190,32 @@ func TestKillGatewayResolvesIndex(t *testing.T) {
 	}
 }
 
-// churnTrace runs a churn-only plan and returns the death/recovery trace.
+// churnTrace runs a churn-only plan and returns the death/recovery trace
+// read back off the observability bus.
 func churnTrace(seed int64) []string {
-	w, ids := testWorld(seed, 20)
-	m := &metrics.Memory{}
-	var trace []string
-	w.SetTrace(func(ev node.TraceEvent) {
-		if ev.Kind == "death" || ev.Kind == "recover" {
-			trace = append(trace, ev.Kind+"@"+ev.At.String())
-		}
+	cap := &obs.Capture{}
+	w := node.NewWorld(node.Config{
+		Seed:          seed,
+		EnergyModel:   energy.DefaultFixed,
+		SensorBattery: 10,
+		Obs:           obs.NewBus(cap),
 	})
+	var ids []packet.NodeID
+	for i := 0; i < 20; i++ {
+		id := packet.NodeID(i + 1)
+		w.AddSensor(id, geom.Point{X: float64(i) * 10, Y: 0}, 35, 10, nopStack{})
+		ids = append(ids, id)
+	}
+	m := &metrics.Memory{}
 	plan := NewPlan().WithChurn(Churn{Rate: 600, MTTR: 5 * sim.Second})
 	Attach(plan, Env{World: w, Metrics: m, Sensors: ids, Horizon: 2 * sim.Minute})
 	w.Run(2 * sim.Minute)
+	var trace []string
+	for _, ev := range cap.Events {
+		if ev.Kind == obs.NodeDeath || ev.Kind == obs.NodeRecover {
+			trace = append(trace, ev.Kind.String()+"@"+ev.At.String())
+		}
+	}
 	return trace
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"wmsn/internal/metrics"
 	"wmsn/internal/node"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -189,6 +190,16 @@ func (in *Injector) exec(ev Event) {
 	}
 	if ev.Op.disruptive() {
 		in.env.Metrics.Inc(metrics.FaultsInjected)
+		if b := w.Obs(); b.Active() {
+			target := ev.Node
+			if ev.Op == OpKillGateway && ev.GW < len(in.env.Gateways) {
+				target = in.env.Gateways[ev.GW]
+			}
+			b.Emit(obs.Event{
+				At: w.Kernel().Now(), Kind: obs.FaultInjected, Node: target,
+				Detail: ev.label(), Value: int64(len(ev.Nodes)),
+			})
+		}
 	}
 }
 
@@ -212,6 +223,9 @@ func (in *Injector) scheduleChurnCrash(id packet.NodeID, c *Churn, from sim.Time
 		}
 		d.FailCause(node.CauseInjected)
 		in.env.Metrics.Inc(metrics.FaultsInjected)
+		if b := in.env.World.Obs(); b.Active() {
+			b.Emit(obs.Event{At: k.Now(), Kind: obs.FaultInjected, Node: id, Detail: "churn"})
+		}
 		mttr := c.MTTR
 		if mttr <= 0 {
 			mttr = 30 * sim.Second

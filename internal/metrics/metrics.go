@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -186,6 +187,7 @@ type Memory struct {
 	hops       []int
 	perGateway map[packet.NodeID]uint64
 	delivered  map[floodKey]struct{}
+	obs        *obs.Bus
 }
 
 var _ Sink = (*Memory)(nil)
@@ -292,10 +294,20 @@ func (m *Memory) Count(c Counter) uint64 {
 	return 0
 }
 
+// SetObserver attaches an observability bus: every RecordGenerated and
+// fresh RecordDelivered is mirrored as a PacketGenerated / PacketDelivered
+// event. Hooking the bus here, at the single choke point every protocol
+// stack already reports through, traces end-to-end packet fates without a
+// per-stack emission site.
+func (m *Memory) SetObserver(b *obs.Bus) { m.obs = b }
+
 // RecordGenerated notes a data packet leaving its origin.
 func (m *Memory) RecordGenerated(origin packet.NodeID, seq uint32, now sim.Time) {
 	m.Generated++
 	m.pending[floodKey{origin, seq}] = pendingData{at: now}
+	if m.obs.Active() {
+		m.obs.Emit(obs.Event{At: now, Kind: obs.PacketGenerated, Node: origin, Origin: origin, Seq: seq})
+	}
 }
 
 // RecordDelivered notes a data packet accepted by gateway gw.
@@ -313,7 +325,15 @@ func (m *Memory) RecordDelivered(origin packet.NodeID, seq uint32, gw packet.Nod
 		m.latencies = append(m.latencies, now-p.at)
 		delete(m.pending, k)
 	}
+	if m.obs.Active() {
+		m.obs.Emit(obs.Event{At: now, Kind: obs.PacketDelivered, Node: gw, Origin: origin, Seq: seq, Value: int64(hops)})
+	}
 }
+
+// PendingCount returns how many generated packets have not (yet) been
+// delivered — the observability sampler's "in flight" gauge. O(1), no
+// allocation.
+func (m *Memory) PendingCount() int { return len(m.pending) }
 
 // Undelivered lists (origin, seq) pairs generated but never delivered, in
 // unspecified order — post-mortem debugging and loss analysis.

@@ -179,3 +179,131 @@ func TestSnapshotJSON(t *testing.T) {
 		t.Fatalf("marshal: %v", err)
 	}
 }
+
+// TestCounterNamesExhaustive pins the counter schema: every enum value must
+// carry a real snake_case name (new counters can't ship unnamed) and every
+// name must be unique, since Snapshot.Counters keys on it.
+func TestCounterNamesExhaustive(t *testing.T) {
+	seen := map[string]Counter{}
+	for c := Counter(0); c < numCounters; c++ {
+		name := c.String()
+		if name == "" || name == "unknown_counter" {
+			t.Errorf("counter %d has no name", c)
+		}
+		for _, r := range name {
+			if !(r == '_' || r >= 'a' && r <= 'z' || r >= '0' && r <= '9') {
+				t.Errorf("counter %d name %q is not snake_case", c, name)
+				break
+			}
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("counters %d and %d share the name %q", prev, c, name)
+		}
+		seen[name] = c
+	}
+	if got := len(CounterNames()); got != int(numCounters) {
+		t.Fatalf("CounterNames() lists %d names, want %d", got, numCounters)
+	}
+}
+
+// TestEveryCounterBackedAndSnapshotted proves Inc reaches a backing field for
+// every enum value and that the value surfaces in Snapshot under the
+// counter's name — no silently absorbed counters.
+func TestEveryCounterBackedAndSnapshotted(t *testing.T) {
+	m := New()
+	for c := Counter(0); c < numCounters; c++ {
+		if m.counterPtr(c) == nil {
+			t.Fatalf("counter %s (%d) has no backing field", c, c)
+		}
+		m.Add(c, uint64(c)+1)
+	}
+	s := m.Snapshot()
+	for c := Counter(0); c < numCounters; c++ {
+		if got := s.Counters[c.String()]; got != uint64(c)+1 {
+			t.Errorf("Snapshot.Counters[%q] = %d, want %d", c.String(), got, uint64(c)+1)
+		}
+		if got := m.Count(c); got != uint64(c)+1 {
+			t.Errorf("Count(%s) = %d, want %d", c, got, uint64(c)+1)
+		}
+	}
+	if len(s.Counters) != int(numCounters) {
+		t.Fatalf("Snapshot carries %d counters, want %d", len(s.Counters), numCounters)
+	}
+}
+
+// runMemory builds one synthetic "run" with per-gateway deliveries recorded
+// in the given order — the map-insertion order a worker's schedule controls.
+func runMemory(gws []packet.NodeID) *Memory {
+	m := New()
+	for i, gw := range gws {
+		seq := uint32(i + 1)
+		m.RecordGenerated(1, seq, sim.Time(i)*sim.Second)
+		m.RecordDelivered(1, seq, gw, 2+i, sim.Time(i)*sim.Second+50*sim.Millisecond)
+	}
+	m.Inc(RReqSent)
+	m.Add(RadioBytesOnAir, 512)
+	return m
+}
+
+// TestSnapshotJSONDeterministic pins the export format: snapshots of runs
+// whose map contents were inserted in different orders — exactly what
+// different worker interleavings produce — must serialize byte-identically,
+// and repeated marshals of one snapshot must never flap.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	gws := []packet.NodeID{1_000_000, 1_000_001, 1_000_002}
+	rev := []packet.NodeID{1_000_002, 1_000_001, 1_000_000}
+	a, err := json.Marshal(runMemory(gws).Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(runMemory(rev).Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop order differs (2,3,4 vs the same set), so MeanHops agrees; the
+	// per-gateway map must serialize sorted either way.
+	if string(a) != string(b) {
+		t.Fatalf("insertion order leaked into Snapshot JSON:\n%s\nvs\n%s", a, b)
+	}
+	for i := 0; i < 5; i++ {
+		c, _ := json.Marshal(runMemory(gws).Snapshot())
+		if string(c) != string(a) {
+			t.Fatalf("marshal %d differs:\n%s\nvs\n%s", i, c, a)
+		}
+	}
+}
+
+// TestMergeOrderIsDeterministic pins the aggregation contract: folding the
+// same per-run Memories in submission order yields byte-identical snapshot
+// JSON no matter how the runs' own maps were populated, and Merge sums every
+// counter field (none skipped).
+func TestMergeOrderIsDeterministic(t *testing.T) {
+	build := func(gws []packet.NodeID) string {
+		agg := NewAggregate()
+		agg.Absorb(runMemory(gws))
+		agg.Absorb(runMemory([]packet.NodeID{1_000_001}))
+		buf, err := json.Marshal(agg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+	a := build([]packet.NodeID{1_000_000, 1_000_001, 1_000_002})
+	b := build([]packet.NodeID{1_000_002, 1_000_001, 1_000_000})
+	if a != b {
+		t.Fatalf("aggregate JSON depends on per-run map population order:\n%s\nvs\n%s", a, b)
+	}
+	// Merge must fold every counter: a Memory with all counters set merges
+	// into an empty one without losing a single field.
+	src := New()
+	for c := Counter(0); c < numCounters; c++ {
+		src.Add(c, uint64(c)+1)
+	}
+	dst := New()
+	dst.Merge(src)
+	for c := Counter(0); c < numCounters; c++ {
+		if dst.Count(c) != uint64(c)+1 {
+			t.Errorf("Merge dropped counter %s", c)
+		}
+	}
+}

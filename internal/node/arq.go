@@ -2,6 +2,7 @@ package node
 
 import (
 	"wmsn/internal/metrics"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/radio"
 	"wmsn/internal/sim"
@@ -165,6 +166,12 @@ func (d *Device) arqEnqueue(pkt *packet.Packet) bool {
 	a := d.arq
 	if len(a.queue) >= a.limit {
 		a.inc(metrics.QueueDrops)
+		if d.world.obs.Active() {
+			d.world.obs.Emit(obs.Event{
+				At: d.world.kernel.Now(), Kind: obs.QueueDrop, Node: d.id, Peer: pkt.To,
+				Origin: pkt.Origin, Seq: pkt.Seq,
+			})
+		}
 		return false
 	}
 	a.queue = append(a.queue, pkt)
@@ -214,11 +221,24 @@ func (d *Device) arqTimeout() {
 	if a.attempt < a.cfg.Retries {
 		a.attempt++
 		a.inc(metrics.LinkRetries)
+		if d.world.obs.Active() {
+			head := a.queue[0]
+			d.world.obs.Emit(obs.Event{
+				At: d.world.kernel.Now(), Kind: obs.LinkRetry, Node: d.id, Peer: head.To,
+				Origin: head.Origin, Seq: head.Seq, Value: int64(a.attempt),
+			})
+		}
 		d.arqTransmitHead()
 		return
 	}
 	head := a.queue[0]
 	a.inc(metrics.LinkFailures)
+	if d.world.obs.Active() {
+		d.world.obs.Emit(obs.Event{
+			At: d.world.kernel.Now(), Kind: obs.LinkFailure, Node: d.id, Peer: head.To,
+			Origin: head.Origin, Seq: head.Seq,
+		})
+	}
 	d.arqPop()
 	if h, ok := d.stack.(LinkFailureHandler); ok {
 		h.HandleLinkFailure(head)
@@ -238,6 +258,13 @@ func (d *Device) arqHandleAck(ack *packet.Packet) {
 		a.timer = nil
 	}
 	a.inc(metrics.LinkAcked)
+	if d.world.obs.Active() {
+		head := a.queue[0]
+		d.world.obs.Emit(obs.Event{
+			At: d.world.kernel.Now(), Kind: obs.LinkAck, Node: d.id, Peer: head.To,
+			Origin: head.Origin, Seq: head.Seq,
+		})
+	}
 	d.arqPop()
 }
 
@@ -283,6 +310,15 @@ func (d *Device) arqFlush() {
 	}
 	if n := len(a.queue); n > 0 {
 		a.add(metrics.LinkFlushed, uint64(n))
+		if d.world.obs.Active() {
+			now := d.world.kernel.Now()
+			for _, pkt := range a.queue {
+				d.world.obs.Emit(obs.Event{
+					At: now, Kind: obs.PacketExpired, Node: d.id,
+					Origin: pkt.Origin, Seq: pkt.Seq, Detail: "link_flushed",
+				})
+			}
+		}
 		for i := range a.queue {
 			a.queue[i] = nil
 		}

@@ -16,6 +16,7 @@ import (
 
 	"wmsn/internal/energy"
 	"wmsn/internal/geom"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/radio"
 	"wmsn/internal/sim"
@@ -202,7 +203,12 @@ func (d *Device) transmitSensor(pkt *packet.Packet) bool {
 	}
 	d.SentPackets++
 	d.SentBytes += uint64(pkt.Size())
-	d.world.emitTrace("tx", d.id, pkt, "")
+	if d.world.obs.Active() && arqEligible(pkt) {
+		d.world.obs.Emit(obs.Event{
+			At: d.world.kernel.Now(), Kind: obs.LinkTx, Node: d.id, Peer: pkt.To,
+			Origin: pkt.Origin, Seq: pkt.Seq, Value: int64(pkt.TTL),
+		})
+	}
 	d.world.sensorMedium.Transmit(d.sensorSt, pkt)
 	return true
 }
@@ -225,7 +231,12 @@ func (d *Device) SendRange(pkt *packet.Packet, rangeM float64) bool {
 	}
 	d.SentPackets++
 	d.SentBytes += uint64(pkt.Size())
-	d.world.emitTrace("tx", d.id, pkt, "")
+	if d.world.obs.Active() && arqEligible(pkt) {
+		d.world.obs.Emit(obs.Event{
+			At: d.world.kernel.Now(), Kind: obs.LinkTx, Node: d.id, Peer: pkt.To,
+			Origin: pkt.Origin, Seq: pkt.Seq, Value: int64(pkt.TTL),
+		})
+	}
 	d.world.sensorMedium.Transmit(d.sensorSt, pkt)
 	d.sensorSt.SetRange(orig)
 	return true
@@ -253,7 +264,6 @@ func (d *Device) SendMesh(pkt *packet.Packet) bool {
 	}
 	d.SentPackets++
 	d.SentBytes += uint64(pkt.Size())
-	d.world.emitTrace("mesh-tx", d.id, pkt, "")
 	d.world.meshMedium.Transmit(d.meshSt, pkt)
 	return true
 }
@@ -286,7 +296,6 @@ func (d *Device) receive(pkt *packet.Packet) {
 		}
 	}
 	d.RecvPackets++
-	d.world.emitTrace("rx", d.id, pkt, "")
 	if d.stack != nil {
 		d.stack.HandleMessage(pkt)
 	}
@@ -305,7 +314,6 @@ func (d *Device) receiveMesh(pkt *packet.Packet) {
 		return
 	}
 	d.RecvPackets++
-	d.world.emitTrace("mesh-rx", d.id, pkt, "")
 	if d.meshHandler != nil {
 		d.meshHandler(pkt)
 	}
@@ -343,7 +351,9 @@ func (d *Device) Recover() bool {
 	if d.kind == Sensor {
 		w.sensorsAlive++
 	}
-	w.emitTrace("recover", d.id, nil, "")
+	if w.obs.Active() {
+		w.obs.Emit(obs.Event{At: w.kernel.Now(), Kind: obs.NodeRecover, Node: d.id})
+	}
 	return true
 }
 
@@ -358,18 +368,11 @@ type Config struct {
 	// 0 selects 2 J (a practical simulation default; full AA cells would
 	// make lifetime runs take forever).
 	SensorBattery float64
-}
-
-// TraceEvent is one observable action in the world, emitted to the trace
-// hook when one is installed: packet transmissions and receptions on either
-// medium, and device deaths. Tracing is for debugging and tooling (wmsnsim
-// -trace); it has zero cost when no hook is set.
-type TraceEvent struct {
-	At     sim.Time
-	Kind   string // "tx", "rx", "mesh-tx", "mesh-rx", "death", "recover"
-	Node   packet.NodeID
-	Packet *packet.Packet // nil for death/recover events
-	Detail string         // cause for deaths
+	// Obs is the observability event bus. Nil (the default) disables
+	// tracing entirely: the bus pointer is propagated but every emission
+	// site is guarded by obs.Bus.Active, so untraced runs pay one branch
+	// per site and allocate nothing.
+	Obs *obs.Bus
 }
 
 // DeathRecord describes a device death.
@@ -394,7 +397,7 @@ type World struct {
 	sensorsAlive int
 	sensorsTotal int
 	onDeath      []func(DeathRecord)
-	trace        func(TraceEvent)
+	obs          *obs.Bus
 }
 
 // NewWorld builds an empty world.
@@ -411,6 +414,8 @@ func NewWorld(cfg Config) *World {
 	if cfg.SensorBattery == 0 {
 		cfg.SensorBattery = 2.0
 	}
+	cfg.SensorRadio.Obs = cfg.Obs
+	cfg.MeshRadio.Obs = cfg.Obs
 	k := sim.NewKernel(cfg.Seed)
 	return &World{
 		kernel:       k,
@@ -419,18 +424,14 @@ func NewWorld(cfg Config) *World {
 		cfg:          cfg,
 		devices:      make(map[packet.NodeID]*Device),
 		firstDeath:   -1,
+		obs:          cfg.Obs,
 	}
 }
 
-// SetTrace installs a trace hook receiving every transmission, reception
-// and death. Pass nil to disable.
-func (w *World) SetTrace(fn func(TraceEvent)) { w.trace = fn }
-
-func (w *World) emitTrace(kind string, id packet.NodeID, pkt *packet.Packet, detail string) {
-	if w.trace != nil {
-		w.trace(TraceEvent{At: w.kernel.Now(), Kind: kind, Node: id, Packet: pkt, Detail: detail})
-	}
-}
+// Obs returns the world's observability bus — possibly nil, which is itself
+// a valid, inert bus. Protocol stacks reach the bus through here to emit
+// Reroute and PacketExpired events.
+func (w *World) Obs() *obs.Bus { return w.obs }
 
 // Kernel returns the event kernel.
 func (w *World) Kernel() *sim.Kernel { return w.kernel }
@@ -564,7 +565,13 @@ func (w *World) kill(d *Device, cause DeathCause) {
 	}
 	rec := DeathRecord{ID: d.id, At: w.kernel.Now(), Cause: cause}
 	w.deaths = append(w.deaths, rec)
-	w.emitTrace("death", d.id, nil, cause.String())
+	if w.obs.Active() {
+		k := obs.NodeDeath
+		if d.kind == Gateway {
+			k = obs.GatewayDeath
+		}
+		w.obs.Emit(obs.Event{At: rec.At, Kind: k, Node: d.id, Detail: cause.String()})
+	}
 	if d.kind == Sensor {
 		w.sensorsAlive--
 		if w.firstDeath < 0 {

@@ -6,6 +6,7 @@ import (
 
 	"wmsn/internal/energy"
 	"wmsn/internal/geom"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/radio"
 	"wmsn/internal/sim"
@@ -325,60 +326,61 @@ func TestWorldDefaults(t *testing.T) {
 	_ = sim.Second
 }
 
-func TestTraceHook(t *testing.T) {
-	w := NewWorld(Config{Seed: 1})
-	var events []TraceEvent
-	w.SetTrace(func(ev TraceEvent) { events = append(events, ev) })
+func TestObsBusEvents(t *testing.T) {
+	cap := &obs.Capture{}
+	w := NewWorld(Config{Seed: 1, Obs: obs.NewBus(cap)})
 	a := w.AddSensor(1, geom.Point{}, 30, 0, &echoStack{})
 	w.AddSensor(2, geom.Point{X: 10}, 30, 0, &echoStack{})
-	a.Send(bcast(1))
+	// Unicast DATA is link-traced: one LinkTx per transmission.
+	a.Send(&packet.Packet{Kind: packet.KindData, From: 1, To: 2,
+		Origin: 1, Target: 2, Seq: 9, TTL: 4})
 	w.RunUntilIdle()
-	kinds := map[string]int{}
-	for _, ev := range events {
+	kinds := map[obs.Kind]int{}
+	for _, ev := range cap.Events {
 		kinds[ev.Kind]++
-		if ev.Kind != "death" && ev.Packet == nil {
-			t.Fatalf("packet event without packet: %+v", ev)
-		}
 	}
-	if kinds["tx"] != 1 || kinds["rx"] != 1 {
-		t.Fatalf("trace kinds = %v, want 1 tx + 1 rx", kinds)
+	if kinds[obs.LinkTx] != 1 {
+		t.Fatalf("obs kinds = %v, want 1 LinkTx", kinds)
+	}
+	tx := cap.Events[0]
+	if tx.Node != 1 || tx.Peer != 2 || tx.Seq != 9 || tx.Value != 4 {
+		t.Fatalf("LinkTx fields wrong: %+v", tx)
 	}
 	// Death event carries its cause.
 	a.Fail()
 	found := false
-	for _, ev := range events {
-		if ev.Kind == "death" && ev.Node == 1 && ev.Detail == "failure" {
+	for _, ev := range cap.Events {
+		if ev.Kind == obs.NodeDeath && ev.Node == 1 && ev.Detail == "failure" {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("death event missing: %+v", events)
+		t.Fatalf("NodeDeath event missing: %+v", cap.Events)
 	}
-	// Disabling stops emission.
-	w.SetTrace(nil)
-	n := len(events)
+	// Broadcasts and control traffic are not link-traced.
+	n := len(cap.Events)
 	w.Device(2).Send(bcast(2))
 	w.RunUntilIdle()
-	if len(events) != n {
-		t.Fatal("events emitted after trace disabled")
+	if len(cap.Events) != n {
+		t.Fatalf("broadcast HELLO emitted %d obs events", len(cap.Events)-n)
 	}
 }
 
-func TestMeshTraceEvents(t *testing.T) {
-	w := NewWorld(Config{Seed: 1})
-	var kinds []string
-	w.SetTrace(func(ev TraceEvent) { kinds = append(kinds, ev.Kind) })
+func TestMeshTrafficNotLinkTraced(t *testing.T) {
+	cap := &obs.Capture{}
+	w := NewWorld(Config{Seed: 1, Obs: obs.NewBus(cap)})
 	gw := w.AddGateway(100, geom.Point{}, 30, 200, &echoStack{})
 	bs := w.AddBaseStation(200, geom.Point{X: 100}, 200)
 	got := 0
 	bs.SetMeshHandler(func(*packet.Packet) { got++ })
 	gw.SendMesh(bcast(100))
 	w.RunUntilIdle()
-	joined := ""
-	for _, k := range kinds {
-		joined += k + ","
+	if got != 1 {
+		t.Fatalf("mesh delivery = %d, want 1", got)
 	}
-	if got != 1 || joined != "mesh-tx,mesh-rx," {
-		t.Fatalf("mesh trace = %q (delivered %d)", joined, got)
+	// The mesh backbone has no per-hop ARQ; its traffic stays off the
+	// link-event stream.
+	if len(cap.Events) != 0 {
+		t.Fatalf("mesh broadcast emitted %d obs events, want 0", len(cap.Events))
 	}
 }

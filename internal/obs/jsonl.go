@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL streams every observed event to a writer as one JSON object per
+// line — the trace-file format cmd/wmsntrace consumes. Encoding uses a
+// single reused encoder over a buffered writer, so steady-state observation
+// does not allocate per event beyond encoding/json internals. The caller
+// must Flush (or Close the underlying file after Flush) when the run ends.
+type JSONL struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a sink streaming events to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observe implements Sink. The first write error is latched and reported by
+// Flush; later events are dropped so a dead disk cannot wedge a simulation.
+func (j *JSONL) Observe(ev Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(ev)
+}
+
+// Flush drains the buffer and returns the first error seen, if any.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}
+
+// WriteJSONL serializes events to w in the trace-file format. This is the
+// batch counterpart of the JSONL sink, used for recorder dumps and captured
+// per-run traces.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace file previously written by the JSONL sink or
+// WriteJSONL. Blank lines are skipped; a malformed line fails with its line
+// number so truncated traces are diagnosable.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,64 @@
+package obs
+
+// Recorder is the flight recorder: a bounded ring buffer that always holds
+// the most recent events. It is cheap enough to leave attached for an entire
+// soak run — observing overwrites a slot, never allocates after the buffer
+// fills — and when an invariant trips, Tail returns the last moments before
+// the failure for a post-mortem dump.
+type Recorder struct {
+	buf   []Event
+	cap   int
+	next  int // slot the next event lands in
+	count int // events currently buffered (<= cap)
+	total uint64
+}
+
+// DefaultRecorderCap is the flight-recorder depth used when NewRecorder is
+// given a non-positive capacity.
+const DefaultRecorderCap = 4096
+
+// NewRecorder returns a recorder keeping the last n events.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRecorderCap
+	}
+	return &Recorder{buf: make([]Event, 0, n), cap: n}
+}
+
+// Observe implements Sink.
+func (r *Recorder) Observe(ev Event) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+	}
+	r.next = (r.next + 1) % r.cap
+	r.count = len(r.buf)
+	r.total++
+}
+
+// Total returns how many events were observed over the recorder's lifetime,
+// including those already overwritten.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Len returns how many events are currently buffered.
+func (r *Recorder) Len() int { return r.count }
+
+// Events returns the buffered events oldest-first.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.count)
+	if r.count == r.cap {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Tail returns the most recent n buffered events oldest-first (all of them
+// when n exceeds the buffer).
+func (r *Recorder) Tail(n int) []Event {
+	evs := r.Events()
+	if n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"wmsn/internal/sim"
+	"wmsn/internal/trace"
+)
+
+// Series is the time-bucketed sink: it folds the event stream into
+// fixed-width virtual-time buckets, accumulating packet counts (generated,
+// delivered, expired), link activity (retries, queue drops), routing churn
+// (reroutes, link failures) and the last value of every sampled gauge
+// (in-flight packets, queue depth, mean energy — see Bus.Sample). Because it
+// consumes nothing but events, replaying a JSONL trace through a Series
+// reproduces exactly the table a live run would have produced.
+type Series struct {
+	bucket  sim.Duration
+	buckets []seriesBucket
+	gauges  map[string]bool // gauge names seen in Sample events
+}
+
+type seriesBucket struct {
+	generated uint64
+	delivered uint64
+	expired   uint64
+	retries   uint64
+	drops     uint64 // queue drops
+	reroutes  uint64
+	failures  uint64 // link failures
+	faults    uint64 // fault injections + deaths
+	gauges    map[string]int64
+}
+
+// NewSeries returns a series sink with the given bucket width; width <= 0
+// selects one virtual second.
+func NewSeries(bucket sim.Duration) *Series {
+	if bucket <= 0 {
+		bucket = sim.Second
+	}
+	return &Series{bucket: bucket, gauges: make(map[string]bool)}
+}
+
+// Bucket returns the bucket width.
+func (s *Series) Bucket() sim.Duration { return s.bucket }
+
+// Len returns the number of buckets touched so far.
+func (s *Series) Len() int { return len(s.buckets) }
+
+func (s *Series) at(t sim.Time) *seriesBucket {
+	i := int(t / s.bucket)
+	for len(s.buckets) <= i {
+		s.buckets = append(s.buckets, seriesBucket{})
+	}
+	return &s.buckets[i]
+}
+
+// Observe implements Sink.
+func (s *Series) Observe(ev Event) {
+	b := s.at(ev.At)
+	switch ev.Kind {
+	case PacketGenerated:
+		b.generated++
+	case PacketDelivered:
+		b.delivered++
+	case PacketExpired:
+		if ev.Value > 1 {
+			b.expired += uint64(ev.Value) // batch drop (e.g. route-queue flush)
+		} else {
+			b.expired++
+		}
+	case LinkRetry:
+		b.retries++
+	case QueueDrop:
+		b.drops++
+	case Reroute:
+		b.reroutes++
+	case LinkFailure:
+		b.failures++
+	case FaultInjected, GatewayDeath, NodeDeath:
+		b.faults++
+	case Sample:
+		if b.gauges == nil {
+			b.gauges = make(map[string]int64)
+		}
+		b.gauges[ev.Detail] = ev.Value // last sample in the bucket wins
+		s.gauges[ev.Detail] = true
+	}
+}
+
+// Table renders the series as a trace.Table: one row per bucket with the
+// packet counts, per-bucket delivery ratio, link/routing activity and a
+// column per sampled gauge (sorted by name for determinism).
+func (s *Series) Table(title string) *trace.Table {
+	names := make([]string, 0, len(s.gauges))
+	for n := range s.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	headers := []string{"t", "gen", "dlv", "ratio", "exp", "retry", "qdrop", "reroute", "lfail", "fault"}
+	headers = append(headers, names...)
+	t := trace.NewTable(title, headers...)
+	for i, b := range s.buckets {
+		row := []any{
+			fmt.Sprintf("%.0fs", (sim.Time(i) * s.bucket).Seconds()),
+			b.generated, b.delivered, trace.Ratio(b.delivered, b.generated),
+			b.expired, b.retries, b.drops, b.reroutes, b.failures, b.faults,
+		}
+		for _, n := range names {
+			if v, ok := b.gauges[n]; ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("bucket width %s; gauges show the last sample per bucket", s.bucket)
+	return t
+}

@@ -15,6 +15,7 @@ import (
 
 	"wmsn/internal/geom"
 	"wmsn/internal/metrics"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -51,6 +52,11 @@ type Config struct {
 	// addition to the medium's own Stats. Leave nil to keep the hot path
 	// branch-free of telemetry.
 	Metrics metrics.Sink
+	// Obs, when active, receives a FrameLost event for every unicast DATA
+	// copy the medium drops at its addressee (loss model or collision) —
+	// the ground truth behind the link layer's retry decisions. Nil keeps
+	// the delivery loop free of tracing beyond one branch.
+	Obs *obs.Bus
 }
 
 // SensorRadio is an 802.15.4-flavored configuration for the sensor layer.
@@ -235,6 +241,19 @@ func (m *Medium) report(c metrics.Counter, n uint64) {
 	if m.cfg.Metrics != nil {
 		m.cfg.Metrics.Add(c, n)
 	}
+}
+
+// observeLoss traces a dropped copy of a unicast DATA frame at its
+// addressee. Broadcast copies and overheard unicasts are omitted: only the
+// addressee's loss is a hop-level event the link layer will react to.
+func (m *Medium) observeLoss(st *Station, pkt *packet.Packet, reason string) {
+	if !m.cfg.Obs.Active() || pkt.Kind != packet.KindData || pkt.To != st.id {
+		return
+	}
+	m.cfg.Obs.Emit(obs.Event{
+		At: m.k.Now(), Kind: obs.FrameLost, Node: st.id, Peer: pkt.From,
+		Origin: pkt.Origin, Seq: pkt.Seq, Detail: reason,
+	})
 }
 
 // Airtime returns how long a packet of size bytes occupies the channel.
@@ -438,11 +457,13 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 		if m.cfg.LossRate > 0 && m.k.Rand().Float64() < m.cfg.LossRate {
 			m.stats.Lost++
 			m.report(metrics.RadioLost, 1)
+			m.observeLoss(st, pkt, "loss")
 			continue
 		}
 		if st.rxLoss > 0 && m.k.Rand().Float64() < st.rxLoss {
 			m.stats.Lost++
 			m.report(metrics.RadioLost, 1)
+			m.observeLoss(st, pkt, "loss")
 			continue
 		}
 		d := m.getDelivery()
@@ -487,6 +508,7 @@ func (m *Medium) deliver(d *delivery) {
 	corrupted, pkt := d.corrupted, d.pkt
 	m.putDelivery(d)
 	if corrupted {
+		m.observeLoss(st, pkt, "collision")
 		return
 	}
 	if st.handler == nil || !st.listening {

@@ -16,6 +16,7 @@ import (
 	"wmsn/internal/fault"
 	"wmsn/internal/geom"
 	"wmsn/internal/node"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/protocol"
 	"wmsn/internal/radio"
@@ -118,6 +119,17 @@ type Config struct {
 	// advertisements (Params.AdvertInterval = 1s) unless Params is set
 	// explicitly; the resulting Result carries a Reliability summary.
 	Faults *fault.Plan
+
+	// Obs, when non-nil, attaches the observability event bus to the run:
+	// the kernel-adjacent layers (radio medium, link ARQ, routing stacks,
+	// fault injector, node lifecycle, metrics) emit typed events into it,
+	// and when Obs.Sample is set a kernel-scheduled sampler additionally
+	// emits periodic gauge events (in-flight packets, ARQ queue depth,
+	// sensors alive, mean energy). The sampler only reads state, so a
+	// traced run's Result is identical to an untraced one. Each run must
+	// own its bus — sharing one across RunMany configs would interleave
+	// event streams nondeterministically.
+	Obs *obs.Bus
 
 	// Hooks: Mutate runs after the network is built but before traffic
 	// starts (install attackers, schedule failures, ...). Prefer Faults
@@ -327,6 +339,7 @@ func BuildE(cfg Config) (*Net, error) {
 	}
 	region := geom.Square(cfg.Side)
 	m := core.NewMetrics()
+	m.SetObserver(cfg.Obs)
 	w := node.NewWorld(node.Config{
 		Seed: cfg.Seed,
 		SensorRadio: radio.Config{
@@ -339,6 +352,7 @@ func BuildE(cfg Config) (*Net, error) {
 		},
 		EnergyModel:   cfg.EnergyModel,
 		SensorBattery: cfg.SensorBattery,
+		Obs:           cfg.Obs,
 	})
 	n := &Net{
 		Cfg:     cfg,
@@ -413,6 +427,20 @@ func BuildE(cfg Config) (*Net, error) {
 			Gateways: n.GatewayIDs,
 			Sensors:  n.SensorIDs,
 			Horizon:  cfg.RunFor,
+		})
+	}
+
+	if b := cfg.Obs; b != nil && b.Sample > 0 {
+		b := b
+		w.Kernel().Every(b.Sample, func() {
+			if !b.Active() {
+				return
+			}
+			now := w.Kernel().Now()
+			b.Emit(obs.Event{At: now, Kind: obs.Sample, Detail: "in_flight", Value: int64(m.PendingCount())})
+			b.Emit(obs.Event{At: now, Kind: obs.Sample, Detail: "queue_depth", Value: int64(w.LinkQueueDepth())})
+			b.Emit(obs.Event{At: now, Kind: obs.Sample, Detail: "sensors_alive", Value: int64(w.SensorsAlive())})
+			b.Emit(obs.Event{At: now, Kind: obs.Sample, Detail: "energy_uj", Value: int64(w.SensorEnergyStats().Mean * 1e6)})
 		})
 	}
 

@@ -45,6 +45,7 @@ import (
 	"wmsn/internal/metrics"
 	"wmsn/internal/network"
 	"wmsn/internal/node"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/placement"
 	"wmsn/internal/protocol"
@@ -299,9 +300,52 @@ type (
 	Params = core.Params
 	// Rounds drives MLR gateway mobility.
 	Rounds = core.Rounds
-	// TraceEvent is one observable world action (see World.SetTrace).
-	TraceEvent = node.TraceEvent
 )
+
+// Observability: the typed event bus every layer publishes into when tracing
+// is enabled (Config.Obs), and the sinks that consume the stream. See
+// internal/obs and cmd/wmsntrace.
+type (
+	// TraceBus is the observability event bus; nil disables tracing.
+	TraceBus = obs.Bus
+	// TraceEventRecord is one traced action with its virtual timestamp.
+	TraceEventRecord = obs.Event
+	// TraceEventKind discriminates traced actions (obs.LinkTx, ...).
+	TraceEventKind = obs.Kind
+	// TraceSink consumes traced events.
+	TraceSink = obs.Sink
+	// TraceSinkFunc adapts a plain function into a TraceSink.
+	TraceSinkFunc = obs.SinkFunc
+	// TraceRecorder is the bounded ring-buffer flight recorder.
+	TraceRecorder = obs.Recorder
+	// TraceSeries is the time-bucketed series sink.
+	TraceSeries = obs.Series
+)
+
+// Traced event kinds, re-exported for sinks written against the root API.
+const (
+	TracePacketGenerated = obs.PacketGenerated
+	TracePacketDelivered = obs.PacketDelivered
+	TracePacketExpired   = obs.PacketExpired
+	TraceLinkTx          = obs.LinkTx
+	TraceLinkAck         = obs.LinkAck
+	TraceLinkRetry       = obs.LinkRetry
+	TraceLinkFailure     = obs.LinkFailure
+	TraceQueueDrop       = obs.QueueDrop
+	TraceFrameLost       = obs.FrameLost
+	TraceReroute         = obs.Reroute
+	TraceFaultInjected   = obs.FaultInjected
+	TraceGatewayDeath    = obs.GatewayDeath
+	TraceNodeDeath       = obs.NodeDeath
+	TraceNodeRecover     = obs.NodeRecover
+	TraceSample          = obs.Sample
+)
+
+// NewTraceBus returns an event bus with the given sinks attached.
+func NewTraceBus(sinks ...obs.Sink) *TraceBus { return obs.NewBus(sinks...) }
+
+// NewTraceRecorder returns a flight recorder keeping the last n events.
+func NewTraceRecorder(n int) *TraceRecorder { return obs.NewRecorder(n) }
 
 // NewWorld builds an empty world with the given seed and defaults.
 func NewWorld(seed int64) *World { return node.NewWorld(node.Config{Seed: seed}) }
