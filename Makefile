@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover vet race bench bench-json bench-arq bench-guard profile experiments experiments-quick faults soak fuzz examples clean
+.PHONY: all build test test-short cover vet race bench bench-json bench-arq bench-hotpath bench-guard scale-smoke profile experiments experiments-quick faults soak fuzz examples clean
 
 all: build test
 
@@ -36,6 +36,8 @@ bench:
 bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndSecMLR$$|BenchmarkExperimentParallel$$' -benchmem . > bench_output.txt
 	$(GO) test -run='^$$' -bench='BenchmarkKernelSchedule$$' -benchmem ./internal/sim/ >> bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkDedupe$$' -benchmem ./internal/packet/ >> bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkDelivery$$' -benchmem ./internal/radio/ >> bench_output.txt
 	$(GO) run ./cmd/benchjson -prev BENCH_seed.json < bench_output.txt > BENCH_baseline.json
 	rm -f bench_output.txt
 
@@ -50,14 +52,36 @@ bench-arq:
 	$(GO) run ./cmd/benchjson -prev BENCH_baseline.json < bench_output.txt > BENCH_arq.json
 	rm -f bench_output.txt
 
-# Dormant-tracing allocation guard: with no sink attached the observability
-# layer must cost zero allocations, so the end-to-end benchmarks (same
-# pinned seed set as bench-arq) may not allocate more per op than the
-# committed BENCH_arq.json baseline.
+# Hot-path A/B snapshot (BENCH_hotpath.json): batched radio delivery,
+# spatial neighbor grid, bitset dedupe and the arena-backed run memory
+# against the committed link-ARQ baseline (BENCH_arq.json). The end-to-end
+# benchmarks keep the pinned iteration count so the vs_previous ratios are a
+# clean same-machine A/B; the micro-benchmarks (dedupe, delivery, topology,
+# grid query) record the new subsystems' costs for future diffs.
+bench-hotpath:
+	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem -benchtime=8x . > bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkDedupe$$' -benchmem -benchtime=8x ./internal/packet/ >> bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkDelivery$$' -benchmem -benchtime=8x ./internal/radio/ >> bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkPowerControlK$$|BenchmarkBuild$$' -benchmem ./internal/network/ >> bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkGridIndexQuery$$' -benchmem ./internal/geom/ >> bench_output.txt
+	$(GO) run ./cmd/benchjson -prev BENCH_arq.json < bench_output.txt > BENCH_hotpath.json
+	rm -f bench_output.txt
+
+# Allocation guard: the end-to-end benchmarks (pinned seed set, so allocs/op
+# are exactly reproducible) and the dedupe micro-benchmark may not allocate
+# more per op than the committed BENCH_hotpath.json baseline.
 bench-guard:
 	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem -benchtime=8x . > bench_output.txt
-	$(GO) run ./cmd/benchjson -prev BENCH_arq.json -guard-allocs 1.0 < bench_output.txt > /dev/null
+	$(GO) test -run='^$$' -bench='BenchmarkDedupe$$' -benchmem -benchtime=8x ./internal/packet/ >> bench_output.txt
+	$(GO) run ./cmd/benchjson -prev BENCH_hotpath.json -guard-allocs 1.0 < bench_output.txt > /dev/null
 	rm -f bench_output.txt
+
+# 10k-node scalability smoke: the E1-style placement sweep, connectivity
+# analysis and radio broadcast wave under the race detector, then the
+# wmsnbench one-off sweep (wall-clock printed per row).
+scale-smoke:
+	$(GO) test -race -v -run 'TestScale10k' ./internal/experiments/
+	$(GO) run ./cmd/wmsnbench -scale 10000
 
 # CPU and heap profiles of the quick experiment suite (see DESIGN.md,
 # "Profiling"); inspect with `go tool pprof cpu.prof`.

@@ -53,7 +53,13 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 1.0, "gauge sampling interval in seconds for traced runs (0 disables gauge samples)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the suite to this file")
+	scale := flag.Int("scale", 0, "run a one-off E1-style hop sweep on a field of this many sensors (e.g. 10000) and exit")
 	flag.Parse()
+
+	if *scale > 0 {
+		fmt.Println(experiments.ScaleSweep(*scale, []int{1, 4, 16}, 901).String())
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -84,7 +84,7 @@ func NewReplayer(delay sim.Duration, kinds ...packet.Kind) *Replayer {
 // the scenario so unicast traffic is observable.
 func (a *Replayer) Start(dev *node.Device) {
 	a.dev = dev
-	dev.Promiscuous = true
+	dev.SetPromiscuous(true)
 }
 
 // HandleMessage implements node.Stack.
@@ -131,7 +131,7 @@ type Sinkhole struct {
 // Start implements node.Stack.
 func (a *Sinkhole) Start(dev *node.Device) {
 	a.dev = dev
-	dev.Promiscuous = true
+	dev.SetPromiscuous(true)
 }
 
 // HandleMessage implements node.Stack.
@@ -309,7 +309,7 @@ func NewWormhole() (*Wormhole, node.Stack, node.Stack) {
 // Start implements node.Stack.
 func (e *wormholeEnd) Start(dev *node.Device) {
 	e.dev = dev
-	dev.Promiscuous = true
+	dev.SetPromiscuous(true)
 }
 
 // HandleMessage implements node.Stack.

@@ -120,7 +120,7 @@ func TestSecMLRDownstreamForgeryRejected(t *testing.T) {
 		}
 	}}
 	atk2 := w.AddSensor(667, geom.Point{X: 8, Y: -5}, 12, 0, cap)
-	atk2.Promiscuous = true
+	atk2.SetPromiscuous(true)
 	gs[1000].SendToSensor(1, []byte("genuine"))
 	w.Run(w.Kernel().Now() + 3*sim.Second)
 	if delivered != 1 || captured == nil {

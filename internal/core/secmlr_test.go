@@ -152,7 +152,7 @@ func TestSecMLRReplayedDataRejected(t *testing.T) {
 		}
 	}}
 	atk := w.AddSensor(666, geom.Point{X: 35}, 12, 0, capStack)
-	atk.Promiscuous = true
+	atk.SetPromiscuous(true)
 
 	ss[1].OriginateData([]byte("reading"))
 	w.Run(10 * sim.Second)
@@ -193,7 +193,7 @@ func TestSecMLRTamperedDataRejected(t *testing.T) {
 		}
 	}}
 	atk := w.AddSensor(666, geom.Point{X: 35}, 12, 0, capStack)
-	atk.Promiscuous = true
+	atk.SetPromiscuous(true)
 	ss[1].OriginateData([]byte("reading"))
 	w.Run(10 * sim.Second)
 	if captured == nil {

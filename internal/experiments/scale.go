@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/node"
+	"wmsn/internal/placement"
+	"wmsn/internal/trace"
+)
+
+// ScaleSweep measures the E1b hop metric on an n-sensor constant-density
+// field for each gateway count, timing each build+evaluate cycle — the
+// scalability demonstration behind `wmsnbench -scale`. Density matches E1b
+// (300 sensors on a 300 m side); topology construction and hop evaluation
+// go through the grid-indexed network package, so n=10000 completes in
+// tens of milliseconds where the pairwise scan took minutes.
+//
+// It is not part of the golden experiment suite: the timing column is
+// machine-dependent by design.
+func ScaleSweep(n int, gateways []int, seed int64) *trace.Table {
+	side := 300 * math.Sqrt(float64(n)/300)
+	w := node.NewWorld(node.Config{Seed: seed})
+	sensors := (geom.Uniform{}).Deploy(n, geom.Square(side), w.Kernel().Rand())
+	tbl := trace.NewTable(
+		fmt.Sprintf("Scale: avg hops to nearest gateway, %d sensors uniform on %.0fm field", n, side),
+		"gateways m", "avg hops", "max hops", "unreachable", "build+eval ms")
+	for _, m := range gateways {
+		start := time.Now()
+		gpos := (placement.Grid{}).Place(sensors, m, geom.Square(side), w.Kernel().Rand())
+		ev := placement.Evaluate(sensors, gpos, 40)
+		tbl.AddRow(m, ev.AvgHops, ev.MaxHops, ev.Unreachable,
+			fmt.Sprintf("%.1f", float64(time.Since(start).Microseconds())/1000))
+	}
+	tbl.AddNote("grid placement, range 40 m, constant density vs E1b")
+	return tbl
+}

@@ -1,0 +1,287 @@
+// Uniform-grid spatial indexes for unit-disk neighbor queries.
+//
+// Two variants cover the two access patterns in the simulator:
+//
+//   - GridIndex is incremental: values move, appear and disappear one at a
+//     time (radio stations under mobility, death and recovery). It hashes
+//     cell coordinates, so the field may be unbounded.
+//   - StaticGrid is a batch index over a fixed point set, laid out with a
+//     counting sort into one flat array (three allocations regardless of
+//     size). Topology construction and power control build one per call.
+//
+// Both answer "every point within r of center" by scanning the O((r/cell)²)
+// cells overlapping the query disk and filtering on squared distance, so a
+// query costs O(neighborhood) instead of O(n). The squared-distance filter
+// `Dist2(p, c) <= r*r` is byte-equivalent to the `Dist(p, c) <= r` the
+// brute-force paths used: for IEEE doubles sqrt is correctly rounded and
+// monotone, so fl(sqrt(x)) <= r exactly when x <= fl(r*r).
+package geom
+
+import "math"
+
+type gridCell struct{ cx, cy int32 }
+
+type gridEntry[T comparable] struct {
+	pos Point
+	v   T
+}
+
+// GridIndex is an incremental uniform-grid spatial index over values of
+// type T. Values are bucketed by their position; the bucket order is an
+// implementation detail, so callers needing determinism must sort query
+// results (the radio medium sorts by station ID).
+type GridIndex[T comparable] struct {
+	cell  float64
+	cells map[gridCell][]gridEntry[T]
+	n     int
+}
+
+// NewGridIndex returns an empty index with the given cell edge. The cell
+// size only affects performance, never results; it should be on the order
+// of the typical query radius.
+func NewGridIndex[T comparable](cellSize float64) *GridIndex[T] {
+	if cellSize <= 0 || math.IsNaN(cellSize) {
+		panic("geom: non-positive grid cell size")
+	}
+	return &GridIndex[T]{cell: cellSize, cells: make(map[gridCell][]gridEntry[T])}
+}
+
+// CellSize returns the cell edge length.
+func (g *GridIndex[T]) CellSize() float64 { return g.cell }
+
+// Len returns the number of indexed values.
+func (g *GridIndex[T]) Len() int { return g.n }
+
+func (g *GridIndex[T]) cellFor(p Point) gridCell {
+	return gridCell{
+		cx: int32(math.Floor(p.X / g.cell)),
+		cy: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert indexes v at p. Inserting the same value twice (even at different
+// positions) corrupts the index; callers keep one position per value.
+func (g *GridIndex[T]) Insert(v T, p Point) {
+	c := g.cellFor(p)
+	g.cells[c] = append(g.cells[c], gridEntry[T]{pos: p, v: v})
+	g.n++
+}
+
+// Remove unindexes v, which must have been inserted at p (its current
+// position). It reports whether the value was found.
+func (g *GridIndex[T]) Remove(v T, p Point) bool {
+	c := g.cellFor(p)
+	b := g.cells[c]
+	for i := range b {
+		if b[i].v == v {
+			last := len(b) - 1
+			b[i] = b[last]
+			b[last] = gridEntry[T]{}
+			if last == 0 {
+				delete(g.cells, c)
+			} else {
+				g.cells[c] = b[:last]
+			}
+			g.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Move relocates v from its current position to another. When both map to
+// the same cell this is a single in-place update and no bucket churn.
+func (g *GridIndex[T]) Move(v T, from, to Point) bool {
+	cf, ct := g.cellFor(from), g.cellFor(to)
+	if cf == ct {
+		b := g.cells[cf]
+		for i := range b {
+			if b[i].v == v {
+				b[i].pos = to
+				return true
+			}
+		}
+		return false
+	}
+	if !g.Remove(v, from) {
+		return false
+	}
+	g.Insert(v, to)
+	return true
+}
+
+// AppendWithin appends to out every indexed value whose distance to center
+// is at most r, excluding except (pass a value never inserted to disable
+// exclusion). Results are in no particular order. The append-to-buffer
+// shape keeps the hot path free of closures and per-query allocation.
+func (g *GridIndex[T]) AppendWithin(out []T, center Point, r float64, except T) []T {
+	if r < 0 || math.IsNaN(r) {
+		return out
+	}
+	r2 := r * r
+	c0 := g.cellFor(Point{X: center.X - r, Y: center.Y - r})
+	c1 := g.cellFor(Point{X: center.X + r, Y: center.Y + r})
+	for cx := c0.cx; cx <= c1.cx; cx++ {
+		for cy := c0.cy; cy <= c1.cy; cy++ {
+			for _, e := range g.cells[gridCell{cx, cy}] {
+				if e.v == except {
+					continue
+				}
+				if e.pos.Dist2(center) <= r2 {
+					out = append(out, e.v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StaticGrid is a batch spatial index over a fixed slice of points,
+// identified by their indices. Construction is O(n) with a constant number
+// of allocations: cells are ranges of one flat permutation array (counting
+// sort), which is what keeps PowerControlK's allocation count independent
+// of field size.
+type StaticGrid struct {
+	cell       float64
+	minX, minY float64
+	nx, ny     int32
+	start      []int32 // cell c covers order[start[c]:start[c+1]]
+	order      []int32 // point indices grouped by cell
+	pts        []Point // caller's backing slice, referenced not copied
+}
+
+// NewStaticGrid indexes pts with the given cell edge. The pts slice is
+// retained and must not be mutated while the grid is in use.
+func NewStaticGrid(pts []Point, cellSize float64) *StaticGrid {
+	if cellSize <= 0 || math.IsNaN(cellSize) {
+		panic("geom: non-positive grid cell size")
+	}
+	g := &StaticGrid{cell: cellSize, pts: pts}
+	if len(pts) == 0 {
+		return g
+	}
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pts[1:] {
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	g.minX, g.minY = minX, minY
+	// Bound the table to O(n) cells: a tiny cell over a sparse field would
+	// otherwise explode the counting-sort table. Growing the cell never
+	// changes query results, only bucket occupancy.
+	for {
+		nx := int64((maxX-minX)/cellSize) + 1
+		ny := int64((maxY-minY)/cellSize) + 1
+		if nx*ny <= int64(4*len(pts)+64) {
+			break
+		}
+		cellSize *= 2
+	}
+	g.cell = cellSize
+	g.nx = int32((maxX-minX)/cellSize) + 1
+	g.ny = int32((maxY-minY)/cellSize) + 1
+	cells := int(g.nx) * int(g.ny)
+	g.start = make([]int32, cells+1)
+	g.order = make([]int32, len(pts))
+	// Counting sort: histogram, prefix-sum, then scatter.
+	for _, p := range pts {
+		g.start[g.cellOf(p)+1]++
+	}
+	for c := 1; c <= cells; c++ {
+		g.start[c] += g.start[c-1]
+	}
+	cursor := make([]int32, cells)
+	for i, p := range pts {
+		c := g.cellOf(p)
+		g.order[g.start[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return g
+}
+
+// cellOf maps an indexed point (guaranteed inside the bounding box) to its
+// flattened cell number.
+func (g *StaticGrid) cellOf(p Point) int32 {
+	cx := int32((p.X - g.minX) / g.cell)
+	cy := int32((p.Y - g.minY) / g.cell)
+	return cy*g.nx + cx
+}
+
+// clampCell maps an arbitrary coordinate to a valid cell coordinate along
+// one axis of extent n.
+func clampCell(v float64, n int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	c := int32(v)
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// AppendWithin appends to out the index of every point within r of center,
+// excluding index except (pass a negative value to disable exclusion).
+//
+// Membership is decided solely by the squared-distance filter; the cell
+// window is padded by a sliver of a cell so rounding in the window
+// arithmetic can never exclude a point the filter would accept. This keeps
+// the result set identical to a windowless brute-force scan.
+func (g *StaticGrid) AppendWithin(out []int32, center Point, r float64, except int32) []int32 {
+	if len(g.pts) == 0 || r < 0 || math.IsNaN(r) {
+		return out
+	}
+	r2 := r * r
+	rw := r + g.cell*1e-9
+	x0 := clampCell((center.X-rw-g.minX)/g.cell, g.nx)
+	x1 := clampCell((center.X+rw-g.minX)/g.cell, g.nx)
+	y0 := clampCell((center.Y-rw-g.minY)/g.cell, g.ny)
+	y1 := clampCell((center.Y+rw-g.minY)/g.cell, g.ny)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * g.nx
+		for cx := x0; cx <= x1; cx++ {
+			c := row + cx
+			for _, i := range g.order[g.start[c]:g.start[c+1]] {
+				if i == except {
+					continue
+				}
+				if g.pts[i].Dist2(center) <= r2 {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AppendDist2Within appends to out the squared distance from center to
+// every point within r, excluding index except. Power control consumes the
+// distances directly (quickselect for the k-th nearest), so returning d²
+// avoids n sqrt calls.
+func (g *StaticGrid) AppendDist2Within(out []float64, center Point, r float64, except int32) []float64 {
+	if len(g.pts) == 0 || r < 0 || math.IsNaN(r) {
+		return out
+	}
+	r2 := r * r
+	rw := r + g.cell*1e-9
+	x0 := clampCell((center.X-rw-g.minX)/g.cell, g.nx)
+	x1 := clampCell((center.X+rw-g.minX)/g.cell, g.nx)
+	y0 := clampCell((center.Y-rw-g.minY)/g.cell, g.ny)
+	y1 := clampCell((center.Y+rw-g.minY)/g.cell, g.ny)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * g.nx
+		for cx := x0; cx <= x1; cx++ {
+			c := row + cx
+			for _, i := range g.order[g.start[c]:g.start[c+1]] {
+				if i == except {
+					continue
+				}
+				if d2 := g.pts[i].Dist2(center); d2 <= r2 {
+					out = append(out, d2)
+				}
+			}
+		}
+	}
+	return out
+}

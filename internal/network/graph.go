@@ -6,6 +6,7 @@ package network
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"wmsn/internal/geom"
@@ -25,6 +26,12 @@ type Graph struct {
 // Build constructs the graph for the given positions and per-node ranges.
 // A link requires dist ≤ min(range[a], range[b]) so that every edge is
 // bidirectional.
+//
+// Candidate neighbors come from a uniform grid query of radius range[a]
+// (min(ra, rb) ≤ ra, so no edge partner can be missed), making construction
+// O(n·degree) on near-uniform fields instead of O(n²). Adjacency lists are
+// identical to the pairwise scan this replaces: each list is ascending, and
+// only nodes with at least one edge get a list.
 func Build(pos map[packet.NodeID]geom.Point, ranges map[packet.NodeID]float64) *Graph {
 	g := &Graph{
 		pos: make(map[packet.NodeID]geom.Point, len(pos)),
@@ -35,13 +42,44 @@ func Build(pos map[packet.NodeID]geom.Point, ranges map[packet.NodeID]float64) *
 		g.pos[id] = p
 	}
 	sort.Slice(g.ids, func(i, j int) bool { return g.ids[i] < g.ids[j] })
+	if len(g.ids) < 2 {
+		return g
+	}
+	pts := make([]geom.Point, len(g.ids))
+	rng := make([]float64, len(g.ids))
+	maxR := 0.0
+	for i, id := range g.ids {
+		pts[i] = g.pos[id]
+		rng[i] = ranges[id]
+		if rng[i] > maxR {
+			maxR = rng[i]
+		}
+	}
+	cell := maxR
+	if !(cell > 0) { // all ranges non-positive: cell size is perf-only
+		cell = 1
+	}
+	grid := geom.NewStaticGrid(pts, cell)
+	// The grid prefilter compares squared distances, which is not exactly
+	// the old Dist ≤ r test when r is itself a rounded sqrt — and
+	// PowerControlK produces ranges sitting exactly on neighbor distances.
+	// Pad the query radius a hair so the candidate set is a strict superset,
+	// then decide membership with the verbatim original predicate.
+	var buf []int32
 	for i, a := range g.ids {
-		for _, b := range g.ids[i+1:] {
-			r := ranges[a]
-			if rb := ranges[b]; rb < r {
-				r = rb
+		buf = grid.AppendWithin(buf[:0], pts[i], rng[i]*(1+1e-12), int32(i))
+		slices.Sort(buf)
+		for _, jj := range buf {
+			j := int(jj)
+			if j <= i {
+				continue // each pair handled once, from its lower index
 			}
-			if g.pos[a].Dist(g.pos[b]) <= r {
+			r := rng[i]
+			if rng[j] < r {
+				r = rng[j]
+			}
+			if pts[i].Dist(pts[j]) <= r {
+				b := g.ids[j]
 				g.adj[a] = append(g.adj[a], b)
 				g.adj[b] = append(g.adj[b], a)
 			}
@@ -121,6 +159,38 @@ func (g *Graph) BFS(src packet.NodeID) (dist map[packet.NodeID]int, parent map[p
 		}
 	}
 	return dist, parent
+}
+
+// MultiSourceHops returns, for every vertex reachable from any of srcs, the
+// hop distance to the nearest source — one BFS from all sources at once.
+// Evaluating "hops to the nearest gateway" for every sensor this way costs
+// O(V+E) total, where a NearestOf call per sensor would repeat a full BFS
+// each time. Unknown source IDs are ignored; vertices reaching no source
+// are absent from the map.
+func (g *Graph) MultiSourceHops(srcs []packet.NodeID) map[packet.NodeID]int {
+	dist := make(map[packet.NodeID]int, len(g.ids))
+	queue := make([]packet.NodeID, 0, len(srcs))
+	for _, s := range srcs {
+		if !g.Has(s) {
+			continue
+		}
+		if _, seen := dist[s]; seen {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if _, seen := dist[v]; !seen {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
 }
 
 // Hops returns the hop distance from src to dst, or Unreachable.

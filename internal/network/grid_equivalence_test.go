@@ -1,0 +1,241 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"wmsn/internal/geom"
+	"wmsn/internal/packet"
+)
+
+// The grid-accelerated Build and PowerControlK must be observably identical
+// to the O(n²) scans they replaced — not merely equivalent-up-to-rounding:
+// golden experiment outputs pin the old behavior bit-for-bit. These tests
+// keep verbatim copies of the original implementations as oracles and
+// compare across randomized fields, shared and heterogeneous ranges.
+
+// bruteBuild is the original pairwise-scan Build, kept as the oracle.
+func bruteBuild(pos map[packet.NodeID]geom.Point, ranges map[packet.NodeID]float64) *Graph {
+	g := &Graph{
+		pos: make(map[packet.NodeID]geom.Point, len(pos)),
+		adj: make(map[packet.NodeID][]packet.NodeID, len(pos)),
+	}
+	for id, p := range pos {
+		g.ids = append(g.ids, id)
+		g.pos[id] = p
+	}
+	sort.Slice(g.ids, func(i, j int) bool { return g.ids[i] < g.ids[j] })
+	for i, a := range g.ids {
+		for _, b := range g.ids[i+1:] {
+			r := ranges[a]
+			if rb := ranges[b]; rb < r {
+				r = rb
+			}
+			if g.pos[a].Dist(g.pos[b]) <= r {
+				g.adj[a] = append(g.adj[a], b)
+				g.adj[b] = append(g.adj[b], a)
+			}
+		}
+	}
+	return g
+}
+
+// brutePowerControlK is the original per-node full-sort PowerControlK.
+func brutePowerControlK(pos map[packet.NodeID]geom.Point, k int, maxRange float64) map[packet.NodeID]float64 {
+	out := make(map[packet.NodeID]float64, len(pos))
+	ids := make([]packet.NodeID, 0, len(pos))
+	for id := range pos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dists := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		dists = dists[:0]
+		for _, other := range ids {
+			if other == id {
+				continue
+			}
+			dists = append(dists, pos[id].Dist(pos[other]))
+		}
+		sort.Float64s(dists)
+		idx := k - 1
+		if idx >= len(dists) {
+			idx = len(dists) - 1
+		}
+		r := maxRange
+		if idx >= 0 && idx < len(dists) && dists[idx] < maxRange {
+			r = dists[idx]
+		}
+		if len(dists) == 0 {
+			r = 0
+		}
+		out[id] = r
+	}
+	return out
+}
+
+func requireSameGraph(t *testing.T, trial int, got, want *Graph) {
+	t.Helper()
+	if !reflect.DeepEqual(got.ids, want.ids) {
+		t.Fatalf("trial %d: ids differ: %v vs %v", trial, got.ids, want.ids)
+	}
+	// adj must match exactly: same keys (no empty lists for isolated
+	// nodes) and identical, ascending neighbor order.
+	if !reflect.DeepEqual(got.adj, want.adj) {
+		t.Fatalf("trial %d: adjacency differs:\ngrid:  %v\nbrute: %v", trial, got.adj, want.adj)
+	}
+}
+
+func randField(rng *rand.Rand, n int, side float64) map[packet.NodeID]geom.Point {
+	pos := make(map[packet.NodeID]geom.Point, n)
+	for i := 0; i < n; i++ {
+		// Non-contiguous IDs so the tests never depend on ID == index.
+		pos[packet.NodeID(i*3+1)] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return pos
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(120) // includes empty and single-node fields
+		side := 20 + rng.Float64()*400
+		pos := randField(rng, n, side)
+		ranges := make(map[packet.NodeID]float64, n)
+		shared := rng.Float64() * side / 3
+		for id := range pos {
+			ranges[id] = shared
+		}
+		requireSameGraph(t, trial, Build(pos, ranges), bruteBuild(pos, ranges))
+	}
+}
+
+func TestBuildMatchesBruteForceHeterogeneousRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(120)
+		side := 20 + rng.Float64()*400
+		pos := randField(rng, n, side)
+		ranges := make(map[packet.NodeID]float64, n)
+		for id := range pos {
+			ranges[id] = rng.Float64() * side / 2
+		}
+		// A few nodes with zero range, and occasionally an ID missing from
+		// the ranges map (treated as zero by both implementations).
+		for id := range pos {
+			switch rng.Intn(12) {
+			case 0:
+				ranges[id] = 0
+			case 1:
+				delete(ranges, id)
+			}
+		}
+		requireSameGraph(t, trial, Build(pos, ranges), bruteBuild(pos, ranges))
+	}
+}
+
+// The deployment pipeline computes PowerControlK ranges and applies them to
+// the world (ApplyRanges) before rebuilding the graph; this exercises the
+// grid path end-to-end with exactly those heterogeneous radii.
+func TestBuildAfterPowerControlMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(100)
+		side := 20 + rng.Float64()*300
+		pos := randField(rng, n, side)
+		k := 1 + rng.Intn(8)
+		maxRange := 10 + rng.Float64()*side/2
+		got := PowerControlK(pos, k, maxRange)
+		want := brutePowerControlK(pos, k, maxRange)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: PowerControlK(k=%d, max=%v) differs:\ngrid:  %v\nbrute: %v",
+				trial, k, maxRange, got, want)
+		}
+		requireSameGraph(t, trial, Build(pos, got), bruteBuild(pos, want))
+	}
+}
+
+func TestPowerControlKMatchesBruteForceEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(40) // includes 0 and 1 node fields
+		pos := randField(rng, n, 100)
+		k := rng.Intn(int(float64(n)*1.5)+2) - 1 // k < 0, k == 0, k > n all occur
+		maxRange := []float64{0, 5, 30, 1e9}[rng.Intn(4)]
+		got := PowerControlK(pos, k, maxRange)
+		want := brutePowerControlK(pos, k, maxRange)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: PowerControlK(n=%d, k=%d, max=%v) differs:\ngrid:  %v\nbrute: %v",
+				trial, n, k, maxRange, got, want)
+		}
+	}
+}
+
+// MultiSourceHops must agree with a per-vertex NearestOf scan (its
+// one-BFS-per-sensor predecessor in placement.Evaluate).
+func TestMultiSourceHopsMatchesNearestOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(80)
+		pos := randField(rng, n, 200)
+		ranges := make(map[packet.NodeID]float64, n)
+		for id := range pos {
+			ranges[id] = 30 + rng.Float64()*30
+		}
+		g := Build(pos, ranges)
+		var srcs []packet.NodeID
+		for _, id := range g.IDs() {
+			if rng.Intn(8) == 0 {
+				srcs = append(srcs, id)
+			}
+		}
+		srcs = append(srcs, packet.NodeID(1<<20)) // unknown IDs are ignored
+		dist := g.MultiSourceHops(srcs)
+		for _, id := range g.IDs() {
+			_, want := g.NearestOf(id, srcs)
+			got, ok := dist[id]
+			if !ok {
+				got = Unreachable
+			}
+			if got != want {
+				t.Fatalf("trial %d: hops from %v = %d, NearestOf says %d", trial, id, got, want)
+			}
+		}
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(10)) // heavy duplicates
+		}
+		sorted := append([]float64(nil), a...)
+		sort.Float64s(sorted)
+		k := 1 + rng.Intn(n)
+		if got := kthSmallest(a, k); got != sorted[k-1] {
+			t.Fatalf("trial %d: kthSmallest(%v, %d) = %v, want %v", trial, a, k, got, sorted[k-1])
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		pos := powerControlField(n)
+		ranges := make(map[packet.NodeID]float64, n)
+		for id := range pos {
+			ranges[id] = 25
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Build(pos, ranges)
+			}
+		})
+	}
+}

@@ -18,6 +18,11 @@ import (
 // k exist), clamped to maxRange. This is the classic k-neighbor power
 // control: shrinking ranges saves transmission energy and reduces contention
 // while preserving local connectivity.
+//
+// Only neighbors within maxRange can lower a node's range below maxRange, so
+// each node needs just the distances inside its maxRange disk — a grid query
+// — and of those only the k-th smallest, a quickselect instead of a full
+// sort. Near-uniform fields cost O(n·degree) rather than O(n² log n).
 func PowerControlK(pos map[packet.NodeID]geom.Point, k int, maxRange float64) map[packet.NodeID]float64 {
 	out := make(map[packet.NodeID]float64, len(pos))
 	ids := make([]packet.NodeID, 0, len(pos))
@@ -25,32 +30,99 @@ func PowerControlK(pos map[packet.NodeID]geom.Point, k int, maxRange float64) ma
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	// One scratch buffer reused across the per-node loop: the distance list
-	// has the same capacity requirement (n-1) for every node.
-	dists := make([]float64, 0, len(ids))
-	for _, id := range ids {
-		dists = dists[:0]
-		for _, other := range ids {
-			if other == id {
-				continue
+	if len(ids) == 0 {
+		return out
+	}
+	if len(ids) == 1 {
+		out[ids[0]] = 0 // no other nodes: nothing to reach
+		return out
+	}
+	need := k
+	if n1 := len(ids) - 1; need > n1 {
+		need = n1
+	}
+	if need <= 0 {
+		for _, id := range ids {
+			out[id] = maxRange
+		}
+		return out
+	}
+	pts := make([]geom.Point, len(ids))
+	for i, id := range ids {
+		pts[i] = pos[id]
+	}
+	cell := maxRange
+	if !(cell > 0) { // non-positive or NaN: cell size is perf-only, pick any
+		cell = 1
+	}
+	grid := geom.NewStaticGrid(pts, cell)
+	// One scratch buffer reused across the per-node loop: capacity n-1 covers
+	// the worst case (every other node within maxRange). The grid prefilter
+	// compares squared distances, so the query radius is padded a hair to
+	// guarantee a superset; the exact per-candidate Dist < maxRange test
+	// below reproduces the original arithmetic bit-for-bit.
+	scratch := make([]float64, 0, len(ids))
+	mq := maxRange * (1 + 1e-12)
+	for i, id := range ids {
+		scratch = grid.AppendDist2Within(scratch[:0], pts[i], mq, int32(i))
+		m := 0
+		for _, v := range scratch {
+			if d := math.Sqrt(v); d < maxRange {
+				scratch[m] = d
+				m++
 			}
-			dists = append(dists, pos[id].Dist(pos[other]))
 		}
-		sort.Float64s(dists)
-		idx := k - 1
-		if idx >= len(dists) {
-			idx = len(dists) - 1
+		if m < need {
+			// The k-th nearest neighbor lies at or beyond maxRange.
+			out[id] = maxRange
+			continue
 		}
-		r := maxRange
-		if idx >= 0 && idx < len(dists) && dists[idx] < maxRange {
-			r = dists[idx]
-		}
-		if len(dists) == 0 {
-			r = 0
-		}
-		out[id] = r
+		out[id] = kthSmallest(scratch[:m], need)
 	}
 	return out
+}
+
+// kthSmallest returns the k-th smallest element (1-indexed) of a, partially
+// reordering a in place. Hoare quickselect with a median-of-three pivot:
+// expected O(len(a)), zero allocations, deterministic for a given input.
+func kthSmallest(a []float64, k int) float64 {
+	lo, hi, target := 0, len(a)-1, k-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return a[target] // between the partitions: equal to the pivot
+		}
+	}
+	return a[target]
 }
 
 // ApplyRanges installs per-node ranges onto a world's sensor stations.

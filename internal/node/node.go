@@ -101,9 +101,12 @@ type Device struct {
 	lastMeshRange        float64
 	lastSensorListening  bool
 	hadSensorSt, hadMesh bool
-	// Promiscuous devices receive unicast packets addressed to others
-	// (used by eavesdropping and wormhole attackers).
-	Promiscuous bool
+	// promiscuous devices receive unicast packets addressed to others
+	// (used by eavesdropping and wormhole attackers). Set through
+	// SetPromiscuous so the radio stations learn about it too: the medium
+	// hands eavesdroppers private packet clones while ordinary overhearers
+	// share one read-only copy per transmission.
+	promiscuous bool
 
 	// Counters for overhead accounting.
 	SentPackets uint64
@@ -160,6 +163,24 @@ func (d *Device) MeshStation() *radio.Station { return d.meshSt }
 // SetMeshHandler registers the mesh-layer receive hook (used by the mesh
 // routing implementation on gateways, routers and base stations).
 func (d *Device) SetMeshHandler(f func(*packet.Packet)) { d.meshHandler = f }
+
+// Promiscuous reports whether the device consumes overheard unicasts.
+func (d *Device) Promiscuous() bool { return d.promiscuous }
+
+// SetPromiscuous marks the device as an eavesdropper: unicast packets
+// addressed to other nodes are handed to its stack instead of being
+// dropped after the energy charge. The flag is mirrored onto the radio
+// stations (and re-applied on Recover) so the medium clones overheard
+// frames privately for this device.
+func (d *Device) SetPromiscuous(on bool) {
+	d.promiscuous = on
+	if d.sensorSt != nil {
+		d.sensorSt.SetPromiscuous(on)
+	}
+	if d.meshSt != nil {
+		d.meshSt.SetPromiscuous(on)
+	}
+}
 
 // Now returns the current virtual time.
 func (d *Device) Now() sim.Time { return d.world.kernel.Now() }
@@ -279,7 +300,7 @@ func (d *Device) receive(pkt *packet.Packet) {
 		d.world.kill(d, CauseBattery)
 		return
 	}
-	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.Promiscuous {
+	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.promiscuous {
 		return // overheard someone else's unicast; energy spent, nothing more
 	}
 	if d.arq != nil {
@@ -310,7 +331,7 @@ func (d *Device) receiveMesh(pkt *packet.Packet) {
 		d.world.kill(d, CauseBattery)
 		return
 	}
-	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.Promiscuous {
+	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.promiscuous {
 		return
 	}
 	d.RecvPackets++
@@ -347,6 +368,11 @@ func (d *Device) Recover() bool {
 	if d.hadMesh {
 		d.meshSt = w.meshMedium.Attach(d.id, d.lastPos, d.lastMeshRange, d.receiveMesh)
 	}
+	if d.promiscuous {
+		// The fresh stations must re-learn the eavesdropper flag so the
+		// medium keeps cloning overheard frames privately for this device.
+		d.SetPromiscuous(true)
+	}
 	d.alive = true
 	if d.kind == Sensor {
 		w.sensorsAlive++
@@ -373,6 +399,16 @@ type Config struct {
 	// site is guarded by obs.Bus.Active, so untraced runs pay one branch
 	// per site and allocate nothing.
 	Obs *obs.Bus
+	// EventPool / SensorPool / MeshPool, when non-nil, seed the world's
+	// kernel and radio media with recycled storage from an earlier run and
+	// receive it back via ReleasePools — the arena that lets RunMany reuse
+	// event and delivery structs across runs instead of reallocating them.
+	// Each pool must be owned exclusively by one world at a time.
+	// scenario.Run wires these automatically; nil (the default) allocates
+	// fresh storage.
+	EventPool  *sim.EventPool
+	SensorPool *radio.Pool
+	MeshPool   *radio.Pool
 }
 
 // DeathRecord describes a device death.
@@ -417,7 +453,7 @@ func NewWorld(cfg Config) *World {
 	cfg.SensorRadio.Obs = cfg.Obs
 	cfg.MeshRadio.Obs = cfg.Obs
 	k := sim.NewKernel(cfg.Seed)
-	return &World{
+	w := &World{
 		kernel:       k,
 		sensorMedium: radio.New(k, cfg.SensorRadio),
 		meshMedium:   radio.New(k, cfg.MeshRadio),
@@ -425,6 +461,38 @@ func NewWorld(cfg Config) *World {
 		devices:      make(map[packet.NodeID]*Device),
 		firstDeath:   -1,
 		obs:          cfg.Obs,
+	}
+	if cfg.EventPool != nil {
+		k.AdoptEventPool(cfg.EventPool)
+	}
+	if cfg.SensorPool != nil {
+		w.sensorMedium.AdoptPool(cfg.SensorPool)
+	}
+	if cfg.MeshPool != nil {
+		w.meshMedium.AdoptPool(cfg.MeshPool)
+	}
+	return w
+}
+
+// ReleasePools harvests the world's recycled kernel and radio storage back
+// into the pools supplied at construction. Call only when the run is over
+// and its results have been extracted: outstanding timers are cancelled
+// (their handles become inert) and pending radio deliveries are dropped.
+// The world itself stays functional — it simply allocates fresh storage if
+// driven further. Calling ReleasePools again, or on a world built without
+// pools, is a no-op.
+func (w *World) ReleasePools() {
+	if w.cfg.EventPool != nil {
+		w.kernel.HarvestEventPool(w.cfg.EventPool)
+		w.cfg.EventPool = nil
+	}
+	if w.cfg.SensorPool != nil {
+		w.sensorMedium.HarvestPool(w.cfg.SensorPool)
+		w.cfg.SensorPool = nil
+	}
+	if w.cfg.MeshPool != nil {
+		w.meshMedium.HarvestPool(w.cfg.MeshPool)
+		w.cfg.MeshPool = nil
 	}
 }
 

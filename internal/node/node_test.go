@@ -99,7 +99,7 @@ func TestPromiscuousReceivesForeignUnicast(t *testing.T) {
 	da := w.AddSensor(1, geom.Point{}, 30, 0, &echoStack{})
 	w.AddSensor(2, geom.Point{X: 5}, 30, 0, &echoStack{})
 	dc := w.AddSensor(3, geom.Point{X: 10}, 30, 0, c)
-	dc.Promiscuous = true
+	dc.SetPromiscuous(true)
 	uni := bcast(1)
 	uni.To = 2
 	da.Send(uni)

@@ -8,37 +8,140 @@ type DedupeKey struct {
 }
 
 // Dedupe is the shared duplicate-suppression set used by the core protocols
-// (SPR/MLR/SecMLR flood forwarding) and the flat baselines. It replaces the
-// per-protocol `seen map[uint64]struct{}` bookkeeping that used to be
-// re-implemented in every stack.
+// (SPR/MLR/SecMLR flood forwarding) and the flat baselines.
 //
-// When constructed with a positive limit the set is memory-bounded: on
-// overflow it is dropped wholesale and restarted, which can briefly
-// re-admit old duplicates — acceptable for flood suppression because the
-// TTL kills stragglers anyway.
+// Data sequence numbers are dense and start near zero, so membership is
+// kept as one growable bitset per origin, reached through a small
+// open-addressed table keyed on the origin ID: the hot path is one probe
+// plus one bit test, with no per-key map entries and no hashing of the
+// full (origin, seq) pair. Pathological sequence numbers (a replayed or
+// forged packet far outside the dense range) fall back to an exact
+// overflow map, so observable behavior is identical to the
+// map[DedupeKey]struct{} implementation this replaces.
+//
+// When constructed with a positive limit the set is memory-bounded: when a
+// new key arrives at the bound, the set is dropped wholesale and restarted
+// with only the newcomer, which can briefly re-admit old duplicates —
+// acceptable for flood suppression because the TTL kills stragglers
+// anyway.
 type Dedupe struct {
-	seen  map[DedupeKey]struct{}
-	limit int
+	limit int // max distinct keys; <=0 means unbounded
+	n     int // distinct keys recorded since the last reset
+
+	slots    []dedupeOrigin // open-addressed on origin; len is a power of two
+	occupied int            // used slots, for the grow threshold
+	overflow map[DedupeKey]struct{}
 }
+
+// dedupeOrigin is one origin's sequence bitset: bit s%64 of bits[s/64]
+// records a sighting of sequence number s.
+type dedupeOrigin struct {
+	origin NodeID
+	used   bool
+	bits   []uint64
+}
+
+// dedupeMaxDenseSeq bounds the bitset range per origin (256 KiB of bits);
+// sequence numbers beyond it go to the exact overflow map.
+const dedupeMaxDenseSeq = 1 << 21
 
 // NewDedupe returns an empty set. limit <= 0 means unbounded.
 func NewDedupe(limit int) *Dedupe {
-	return &Dedupe{seen: make(map[DedupeKey]struct{}), limit: limit}
+	return &Dedupe{limit: limit}
+}
+
+// slotIndex returns the table index holding origin, or the insertion point
+// for it. The table must be non-empty and never full.
+func (d *Dedupe) slotIndex(origin NodeID) int {
+	mask := uint32(len(d.slots) - 1)
+	i := (uint32(origin) * 2654435761) & mask
+	for d.slots[i].used && d.slots[i].origin != origin {
+		i = (i + 1) & mask
+	}
+	return int(i)
+}
+
+// growSlots doubles the origin table (or creates it) and rehashes.
+func (d *Dedupe) growSlots() {
+	old := d.slots
+	size := 16
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	d.slots = make([]dedupeOrigin, size)
+	for i := range old {
+		if old[i].used {
+			d.slots[d.slotIndex(old[i].origin)] = old[i]
+		}
+	}
+}
+
+// reset drops every recorded key, keeping allocated capacity: bitsets are
+// zeroed in place and origin slots stay claimed (an all-zero bitset holds
+// no keys, so membership is unaffected).
+func (d *Dedupe) reset() {
+	for i := range d.slots {
+		b := d.slots[i].bits
+		for j := range b {
+			b[j] = 0
+		}
+	}
+	for k := range d.overflow {
+		delete(d.overflow, k)
+	}
+	d.n = 0
 }
 
 // Check records (origin, seq) and reports whether it was already present.
 func (d *Dedupe) Check(origin NodeID, seq uint32) bool {
-	k := DedupeKey{origin, seq}
-	if _, ok := d.seen[k]; ok {
+	if seq < dedupeMaxDenseSeq {
+		word, bit := int(seq>>6), uint64(1)<<(seq&63)
+		if len(d.slots) > 0 {
+			if s := &d.slots[d.slotIndex(origin)]; s.used && word < len(s.bits) && s.bits[word]&bit != 0 {
+				return true
+			}
+		}
+		if d.limit > 0 && d.n >= d.limit {
+			// Bounded memory: drop everything; duplicates re-suppressed
+			// by TTL.
+			d.reset()
+		}
+		if d.occupied*4 >= len(d.slots)*3 {
+			d.growSlots()
+		}
+		s := &d.slots[d.slotIndex(origin)]
+		if !s.used {
+			s.used = true
+			s.origin = origin
+			d.occupied++
+		}
+		if word >= len(s.bits) {
+			grown := word + 1
+			if g := 2 * len(s.bits); g > grown {
+				grown = g
+			}
+			nb := make([]uint64, grown)
+			copy(nb, s.bits)
+			s.bits = nb
+		}
+		s.bits[word] |= bit
+		d.n++
+		return false
+	}
+	key := DedupeKey{Origin: origin, Seq: seq}
+	if _, dup := d.overflow[key]; dup {
 		return true
 	}
-	if d.limit > 0 && len(d.seen) >= d.limit {
-		// Bounded memory: drop everything; duplicates re-suppressed by TTL.
-		d.seen = make(map[DedupeKey]struct{})
+	if d.limit > 0 && d.n >= d.limit {
+		d.reset()
 	}
-	d.seen[k] = struct{}{}
+	if d.overflow == nil {
+		d.overflow = make(map[DedupeKey]struct{})
+	}
+	d.overflow[key] = struct{}{}
+	d.n++
 	return false
 }
 
 // Len returns how many distinct keys are currently tracked.
-func (d *Dedupe) Len() int { return len(d.seen) }
+func (d *Dedupe) Len() int { return d.n }

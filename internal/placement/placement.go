@@ -187,11 +187,15 @@ func Evaluate(sensors, gateways []geom.Point, rangeM float64) Eval {
 		gwIDs = append(gwIDs, id)
 	}
 	g := network.Build(pos, ranges)
+	// One multi-source BFS from the gateways replaces a full BFS per sensor
+	// (identical hop values: edges are symmetric), which is what makes
+	// 10k-node placement sweeps tractable.
+	dist := g.MultiSourceHops(gwIDs)
 	var ev Eval
 	reachable := 0
 	for _, s := range sensorIDs {
-		_, h := g.NearestOf(s, gwIDs)
-		if h == network.Unreachable {
+		h, ok := dist[s]
+		if !ok {
 			ev.Unreachable++
 			continue
 		}

@@ -89,7 +89,10 @@ type Station struct {
 	listening bool
 	rxLoss    float64 // extra per-station reception loss probability
 	medium    *Medium
-	cell      cellKey
+	// promiscuous stations get a private clone of overheard unicasts (the
+	// node layer delivers those to the stack instead of dropping them);
+	// everyone else shares one read-only overhear copy per transmission.
+	promiscuous bool
 	// pending tracks receptions in flight, for the collision model;
 	// any two receptions whose airtimes overlap corrupt each other.
 	pending []*delivery
@@ -142,7 +145,16 @@ func (s *Station) Move(p geom.Point) {
 	s.medium.reindex(s, p)
 }
 
-type cellKey struct{ cx, cy int }
+// Promiscuous reports whether the station receives private clones of
+// overheard unicast traffic.
+func (s *Station) Promiscuous() bool { return s.promiscuous }
+
+// SetPromiscuous marks the station as an eavesdropper: frames addressed to
+// other nodes are delivered as private clones its handler may mutate.
+// Non-promiscuous stations share one overhear copy per transmission, which
+// their handlers must treat as read-only (the node layer only inspects the
+// header before dropping foreign unicasts).
+func (s *Station) SetPromiscuous(on bool) { s.promiscuous = on }
 
 type delivery struct {
 	to        *Station
@@ -150,6 +162,17 @@ type delivery struct {
 	start     sim.Time
 	end       sim.Time
 	corrupted bool
+}
+
+// deliveryBatch carries every reception completing at one instant from one
+// transmission. Scheduling the batch as a single kernel event replaces the
+// one-event-per-receiver pattern: a broadcast heard by d neighbors costs
+// one heap operation instead of d. Entries stay in ID-sorted receiver
+// order (inRangeInto sorts), so handler invocation order is identical to
+// the per-event schedule, whose same-timestamp events fired in the
+// consecutive sequence order they were created in.
+type deliveryBatch struct {
+	entries []*delivery
 }
 
 // activeTx records a transmission occupying the channel, for carrier sense.
@@ -164,18 +187,23 @@ type Medium struct {
 	k        *sim.Kernel
 	cfg      Config
 	stations map[packet.NodeID]*Station
-	cells    map[cellKey]map[packet.NodeID]*Station
-	cellSize float64
+	grid     *geom.GridIndex[*Station] // spatial index for receiver lookup
 	stats    Stats
 	active   []activeTx // in-flight transmissions (CSMA only)
 
-	// Hot-path scratch: delivery structs are pooled on a free list and
-	// scheduled through the kernel's zero-alloc arg path via deliverFn
-	// (bound once here, so no per-delivery closure exists); rxScratch is
-	// the reusable receiver buffer for transmitNow.
-	freeDel   []*delivery
-	deliverFn func(any)
-	rxScratch []*Station
+	// Hot-path scratch: delivery structs and batches are pooled on free
+	// lists and scheduled through the kernel's zero-alloc arg path via
+	// deliverFn/deliverBatchFn (bound once here, so no per-delivery closure
+	// exists); rxScratch is the reusable receiver buffer for transmitNow.
+	freeDel        []*delivery
+	freeBatch      []*deliveryBatch
+	deliverFn      func(any)
+	deliverBatchFn func(any)
+	rxScratch      []*Station
+	// perEvent restores the legacy one-kernel-event-per-receiver schedule.
+	// It exists solely for the batched-vs-per-event A/B benchmark; handler
+	// invocation order is identical either way.
+	perEvent bool
 }
 
 // New creates a medium driven by kernel k.
@@ -194,11 +222,21 @@ func New(k *sim.Kernel, cfg Config) *Medium {
 		k:        k,
 		cfg:      cfg,
 		stations: make(map[packet.NodeID]*Station),
-		cells:    make(map[cellKey]map[packet.NodeID]*Station),
-		cellSize: cell,
+		grid:     geom.NewGridIndex[*Station](cell),
 	}
 	m.deliverFn = func(arg any) { m.deliver(arg.(*delivery)) }
+	m.deliverBatchFn = func(arg any) { m.deliverBatch(arg.(*deliveryBatch)) }
 	return m
+}
+
+func (m *Medium) getBatch() *deliveryBatch {
+	if n := len(m.freeBatch); n > 0 {
+		b := m.freeBatch[n-1]
+		m.freeBatch[n-1] = nil
+		m.freeBatch = m.freeBatch[:n-1]
+		return b
+	}
+	return &deliveryBatch{}
 }
 
 func (m *Medium) getDelivery() *delivery {
@@ -262,10 +300,6 @@ func (m *Medium) Airtime(sizeBytes int) sim.Duration {
 	return sim.Duration(math.Ceil(us))
 }
 
-func (m *Medium) keyFor(p geom.Point) cellKey {
-	return cellKey{int(math.Floor(p.X / m.cellSize)), int(math.Floor(p.Y / m.cellSize))}
-}
-
 // Attach registers a station. handler receives one cloned packet per
 // successful delivery. Attaching an already-attached ID panics: duplicate
 // radio identities are a configuration bug (the deliberate case, the Sybil
@@ -276,13 +310,7 @@ func (m *Medium) Attach(id packet.NodeID, pos geom.Point, rangeM float64, handle
 	}
 	s := &Station{id: id, pos: pos, rangeM: rangeM, handler: handler, listening: true, medium: m}
 	m.stations[id] = s
-	s.cell = m.keyFor(pos)
-	bucket := m.cells[s.cell]
-	if bucket == nil {
-		bucket = make(map[packet.NodeID]*Station)
-		m.cells[s.cell] = bucket
-	}
-	bucket[id] = s
+	m.grid.Insert(s, pos)
 	return s
 }
 
@@ -293,7 +321,7 @@ func (m *Medium) Detach(id packet.NodeID) {
 	if !ok {
 		return
 	}
-	delete(m.cells[s.cell], id)
+	m.grid.Remove(s, s.pos)
 	delete(m.stations, id)
 	s.handler = nil
 }
@@ -302,17 +330,7 @@ func (m *Medium) Detach(id packet.NodeID) {
 func (m *Medium) Station(id packet.NodeID) *Station { return m.stations[id] }
 
 func (m *Medium) reindex(s *Station, p geom.Point) {
-	nk := m.keyFor(p)
-	if nk != s.cell {
-		delete(m.cells[s.cell], s.id)
-		bucket := m.cells[nk]
-		if bucket == nil {
-			bucket = make(map[packet.NodeID]*Station)
-			m.cells[nk] = bucket
-		}
-		bucket[s.id] = s
-		s.cell = nk
-	}
+	m.grid.Move(s, s.pos, p)
 	s.pos = p
 }
 
@@ -323,28 +341,15 @@ func (m *Medium) InRange(sender *Station) []*Station {
 }
 
 // inRangeInto appends the in-range stations to out (the hot path passes a
-// reusable scratch buffer; InRange passes nil for a fresh slice).
+// reusable scratch buffer; InRange passes nil for a fresh slice). Range
+// changes need no reindexing: the station's current range bounds the grid
+// query window at lookup time.
 func (m *Medium) inRangeInto(sender *Station, out []*Station) []*Station {
 	if sender == nil || sender.rangeM <= 0 {
 		return out
 	}
-	r := sender.rangeM
-	r2 := r * r
-	c0 := m.keyFor(geom.Point{X: sender.pos.X - r, Y: sender.pos.Y - r})
-	c1 := m.keyFor(geom.Point{X: sender.pos.X + r, Y: sender.pos.Y + r})
 	base := len(out)
-	for cx := c0.cx; cx <= c1.cx; cx++ {
-		for cy := c0.cy; cy <= c1.cy; cy++ {
-			for _, s := range m.cells[cellKey{cx, cy}] {
-				if s.id == sender.id {
-					continue
-				}
-				if s.pos.Dist2(sender.pos) <= r2 {
-					out = append(out, s)
-				}
-			}
-		}
-	}
+	out = m.grid.AppendWithin(out, sender.pos, sender.rangeM, sender)
 	sortStations(out[base:])
 	return out
 }
@@ -450,6 +455,12 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 		m.active = append(m.active, activeTx{pos: from.pos, rangeM: from.rangeM, end: start + airtime})
 	}
 	m.rxScratch = m.inRangeInto(from, m.rxScratch[:0])
+	// One clone per receiver that will actually consume the payload
+	// (addressee, broadcast listener, eavesdropper); every other receiver
+	// overhears the same unicast only to charge energy and drop it at the
+	// node layer, so those share a single read-only copy per transmission.
+	var overhear *packet.Packet
+	var batch *deliveryBatch
 	for _, st := range m.rxScratch {
 		if !st.listening {
 			continue
@@ -467,7 +478,16 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 			continue
 		}
 		d := m.getDelivery()
-		d.to, d.pkt, d.start, d.end = st, pkt.Clone(), start, end
+		var cp *packet.Packet
+		if pkt.To == packet.Broadcast || pkt.To == st.id || st.promiscuous {
+			cp = pkt.Clone()
+		} else {
+			if overhear == nil {
+				overhear = pkt.Clone()
+			}
+			cp = overhear
+		}
+		d.to, d.pkt, d.start, d.end = st, cp, start, end
 		if m.cfg.Collisions {
 			// Any reception overlapping an in-flight one corrupts both.
 			for _, prev := range st.pending {
@@ -486,8 +506,44 @@ func (m *Medium) transmitNow(from *Station, pkt *packet.Packet) {
 			}
 			st.pending = append(st.pending, d)
 		}
-		m.k.ScheduleArgAt(end, m.deliverFn, d)
+		if m.perEvent {
+			m.k.ScheduleArgAt(end, m.deliverFn, d)
+			continue
+		}
+		if batch == nil {
+			batch = m.getBatch()
+		}
+		batch.entries = append(batch.entries, d)
 	}
+	if batch != nil {
+		m.k.ScheduleArgAt(end, m.deliverBatchFn, batch)
+	}
+}
+
+// deliverBatch completes every reception of one transmission. All entries
+// share the same arrival instant, and their ID-sorted order matches the
+// firing order of the per-event schedule they replace (consecutive
+// sequence numbers at an equal timestamp).
+func (m *Medium) deliverBatch(b *deliveryBatch) {
+	for i, d := range b.entries {
+		if m.k.Stopped() {
+			// Kernel.Stop landed inside this batch (typically a reception's
+			// energy charge killed the node whose death stops the run). The
+			// per-event schedule would have left the remaining receptions
+			// as queued events, so re-queue them individually: a run that
+			// never resumes drops them exactly as before, and a resumed
+			// run still completes them.
+			for j := i; j < len(b.entries); j++ {
+				m.k.ScheduleArgAt(b.entries[j].end, m.deliverFn, b.entries[j])
+				b.entries[j] = nil
+			}
+			break
+		}
+		b.entries[i] = nil
+		m.deliver(d)
+	}
+	b.entries = b.entries[:0]
+	m.freeBatch = append(m.freeBatch, b)
 }
 
 func (m *Medium) deliver(d *delivery) {
@@ -517,4 +573,57 @@ func (m *Medium) deliver(d *delivery) {
 	m.stats.Deliveries++
 	m.report(metrics.RadioDeliveries, 1)
 	st.handler(pkt)
+}
+
+// Pool carries a medium's recycled hot-path storage — delivery structs,
+// delivery batches and the receiver scratch buffer — between sequential
+// runs (the run arena; see sim.EventPool for the kernel half). A zero Pool
+// is valid and empty. Pools are not safe for concurrent use: each run
+// adopts the pool's storage exclusively and harvests it back when done.
+type Pool struct {
+	del     []*delivery
+	batches []*deliveryBatch
+	scratch [][]*Station
+}
+
+// AdoptPool seeds m's free lists from p, emptying p. Call once, on a
+// freshly constructed medium.
+func (m *Medium) AdoptPool(p *Pool) {
+	if p.del != nil {
+		m.freeDel = p.del
+		p.del = nil
+	}
+	if p.batches != nil {
+		m.freeBatch = p.batches
+		p.batches = nil
+	}
+	if n := len(p.scratch); n > 0 {
+		m.rxScratch = p.scratch[n-1][:0]
+		p.scratch[n-1] = nil
+		p.scratch = p.scratch[:n-1]
+	}
+}
+
+// HarvestPool moves m's pooled storage into p and detaches it from m. The
+// medium remains usable afterwards (it simply allocates fresh storage),
+// but the harvested structures must not be reached through stale kernel
+// events — the caller harvests the kernel in the same breath, which
+// invalidates every scheduled delivery. All station and packet references
+// are cleared so the pool never pins a dead world in memory.
+func (m *Medium) HarvestPool(p *Pool) {
+	// Free-listed deliveries were already cleared by putDelivery; batches
+	// nil their entries in deliverBatch. Deliveries still in flight are
+	// abandoned to the GC along with their kernel events.
+	p.del = append(p.del, m.freeDel...)
+	m.freeDel = nil
+	p.batches = append(p.batches, m.freeBatch...)
+	m.freeBatch = nil
+	if m.rxScratch != nil {
+		s := m.rxScratch[:cap(m.rxScratch)]
+		for i := range s {
+			s[i] = nil
+		}
+		p.scratch = append(p.scratch, s[:0])
+		m.rxScratch = nil
+	}
 }

@@ -329,6 +329,13 @@ func Build(cfg Config) *Net {
 // (e.g. no feasible round schedule exists) comes back as an error rather
 // than a panic.
 func BuildE(cfg Config) (*Net, error) {
+	return buildE(cfg, nil)
+}
+
+// buildE is BuildE with an optional run arena: when ar is non-nil the world
+// adopts its recycled kernel/radio storage, and the caller is responsible
+// for harvesting it back (World.ReleasePools) once the run is over.
+func buildE(cfg Config, ar *runArena) (*Net, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: invalid config: %w", err)
 	}
@@ -340,7 +347,7 @@ func BuildE(cfg Config) (*Net, error) {
 	region := geom.Square(cfg.Side)
 	m := core.NewMetrics()
 	m.SetObserver(cfg.Obs)
-	w := node.NewWorld(node.Config{
+	wcfg := node.Config{
 		Seed: cfg.Seed,
 		SensorRadio: radio.Config{
 			BitRate:    250_000,
@@ -353,7 +360,13 @@ func BuildE(cfg Config) (*Net, error) {
 		EnergyModel:   cfg.EnergyModel,
 		SensorBattery: cfg.SensorBattery,
 		Obs:           cfg.Obs,
-	})
+	}
+	if ar != nil {
+		wcfg.EventPool = &ar.events
+		wcfg.SensorPool = &ar.sensor
+		wcfg.MeshPool = &ar.mesh
+	}
+	w := node.NewWorld(wcfg)
 	n := &Net{
 		Cfg:     cfg,
 		World:   w,
@@ -540,12 +553,23 @@ func Run(cfg Config) Result {
 
 // RunE builds the network, drives traffic for cfg.RunFor, and summarizes,
 // returning an error instead of panicking on an invalid configuration.
+//
+// Runs launched here draw their kernel/radio storage from a shared arena
+// pool: the world is private to this call and fully torn down before
+// returning, so its event structs and delivery buffers are recycled into
+// the next run instead of being garbage. Callers composing Build/BuildE +
+// RunTraffic themselves keep plain GC-managed worlds.
 func RunE(cfg Config) (Result, error) {
-	n, err := BuildE(cfg)
+	ar := arenas.Get().(*runArena)
+	n, err := buildE(cfg, ar)
 	if err != nil {
+		arenas.Put(ar)
 		return Result{}, err
 	}
-	return n.RunTraffic(), nil
+	res := n.RunTraffic()
+	n.World.ReleasePools()
+	arenas.Put(ar)
+	return res, nil
 }
 
 // RunMany executes every config on a bounded worker pool and returns the

@@ -325,6 +325,12 @@ func (r *Repeater) Stop() {
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// Stopped reports whether Stop has been called since the last Run/RunAll
+// began. The radio medium checks it between batched deliveries so a Stop
+// issued mid-batch (a reception killing the node that stops the run) halts
+// delivery exactly where the per-event schedule would have.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
 // Step executes the single next event, if any, and reports whether one ran.
 func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
@@ -372,4 +378,45 @@ func (k *Kernel) RunAll() uint64 {
 	for !k.stopped && k.Step() {
 	}
 	return k.fired - start
+}
+
+// EventPool carries recycled kernel storage — pooled event structs and the
+// heap's backing array — between sequential runs (the run arena). A zero
+// EventPool is valid and empty. Pools are not safe for concurrent use:
+// each run adopts the pool exclusively and harvests it back when done.
+type EventPool struct {
+	free  []*event
+	queue []*event // reused for heap capacity only; always length 0
+}
+
+// AdoptEventPool seeds k's free list and heap capacity from p, emptying p.
+// Call once, on a freshly created kernel with nothing scheduled.
+func (k *Kernel) AdoptEventPool(p *EventPool) {
+	if p.free != nil {
+		k.free = p.free
+		p.free = nil
+	}
+	if p.queue != nil {
+		k.queue = p.queue[:0]
+		p.queue = nil
+	}
+}
+
+// HarvestEventPool moves k's event storage into p and detaches it from k.
+// Events still scheduled are cancelled and recycled: their callbacks are
+// cleared and their generation bumped, so Timer and Repeater handles held
+// by the finished run's stacks become inert no-ops — exactly as if every
+// outstanding timer had been stopped. The kernel itself remains usable
+// (it allocates fresh storage on the next schedule), but the run it drove
+// is over.
+func (k *Kernel) HarvestEventPool(p *EventPool) {
+	for i, ev := range k.queue {
+		ev.index = -1
+		k.putEvent(ev) // clears fn/argFn/arg and bumps gen
+		k.queue[i] = nil
+	}
+	p.free = append(p.free, k.free...)
+	p.queue = k.queue[:0]
+	k.free = nil
+	k.queue = nil
 }
