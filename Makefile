@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover vet race bench bench-json bench-arq bench-hotpath bench-guard scale-smoke profile experiments experiments-quick faults soak fuzz examples clean
+.PHONY: all build test test-short cover vet race bench bench-json bench-arq bench-hotpath bench-scale bench-guard scale-smoke scale-100k profile experiments experiments-quick faults soak fuzz examples clean
 
 all: build test
 
@@ -67,13 +67,25 @@ bench-hotpath:
 	$(GO) run ./cmd/benchjson -prev BENCH_arq.json < bench_output.txt > BENCH_hotpath.json
 	rm -f bench_output.txt
 
+# Scale snapshot (BENCH_scale.json): the 10k and 100k E1-style sweeps and
+# the sharded broadcast wave, one pinned iteration each so ns/op is the
+# sweep's wall-clock and allocs/op is exactly reproducible. The end-to-end
+# and dedupe guard rows ride along (same pinned counts as bench-hotpath) so
+# bench-guard can diff against this snapshot going forward.
+bench-scale:
+	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem -benchtime=8x . > bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkDedupe$$' -benchmem -benchtime=8x ./internal/packet/ >> bench_output.txt
+	$(GO) test -run='^$$' -bench='BenchmarkScale' -benchmem -benchtime=1x ./internal/experiments/ >> bench_output.txt
+	$(GO) run ./cmd/benchjson -prev BENCH_hotpath.json < bench_output.txt > BENCH_scale.json
+	rm -f bench_output.txt
+
 # Allocation guard: the end-to-end benchmarks (pinned seed set, so allocs/op
 # are exactly reproducible) and the dedupe micro-benchmark may not allocate
-# more per op than the committed BENCH_hotpath.json baseline.
+# more per op than the committed BENCH_scale.json baseline.
 bench-guard:
 	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem -benchtime=8x . > bench_output.txt
 	$(GO) test -run='^$$' -bench='BenchmarkDedupe$$' -benchmem -benchtime=8x ./internal/packet/ >> bench_output.txt
-	$(GO) run ./cmd/benchjson -prev BENCH_hotpath.json -guard-allocs 1.0 < bench_output.txt > /dev/null
+	$(GO) run ./cmd/benchjson -prev BENCH_scale.json -guard-allocs 1.0 < bench_output.txt > /dev/null
 	rm -f bench_output.txt
 
 # 10k-node scalability smoke: the E1-style placement sweep, connectivity
@@ -81,7 +93,13 @@ bench-guard:
 # wmsnbench one-off sweep (wall-clock printed per row).
 scale-smoke:
 	$(GO) test -race -v -run 'TestScale10k' ./internal/experiments/
-	$(GO) run ./cmd/wmsnbench -scale 10000
+	$(GO) run ./cmd/wmsnbench -scale -n 10000 -shards 4
+
+# 100k-node sweep without the race detector (its shadow memory makes 100k
+# fields pointlessly slow): the hop sweep plus the region-sharded broadcast
+# wave, with a CPU profile for the CI artifact.
+scale-100k:
+	$(GO) run ./cmd/wmsnbench -scale -n 100000 -shards 4 -cpuprofile scale100k.prof
 
 # CPU and heap profiles of the quick experiment suite (see DESIGN.md,
 # "Profiling"); inspect with `go tool pprof cpu.prof`.

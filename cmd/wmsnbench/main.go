@@ -53,24 +53,27 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 1.0, "gauge sampling interval in seconds for traced runs (0 disables gauge samples)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the suite to this file")
-	scale := flag.Int("scale", 0, "run a one-off E1-style hop sweep on a field of this many sensors (e.g. 10000) and exit")
+	scale := flag.Bool("scale", false, "run a one-off E1-style scale sweep (-n sensors, -shards regions) and exit")
+	scaleN := flag.Int("n", 10000, "field size for -scale (number of sensors)")
+	shards := flag.Int("shards", 1, "concurrent regions for the -scale traffic phase (1 = sequential engine); also sizes the hop-sweep worker pool")
 	flag.Parse()
 
-	if *scale > 0 {
-		fmt.Println(experiments.ScaleSweep(*scale, []int{1, 4, 16}, 901).String())
+	if *scale {
+		if err := startCPUProfile(*cpuProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.ScaleSweep(*scaleN, []int{1, 4, 16}, *shards, 901).String())
+		fmt.Println(experiments.ScaleTraffic(*scaleN, *shards, 901).String())
+		pprof.StopCPUProfile()
 		return
 	}
 
+	if err := startCPUProfile(*cpuProfile); err != nil {
+		fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
 		defer pprof.StopCPUProfile()
 	}
 	if *traceDir != "" {
@@ -159,8 +162,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
+	writeMemProfile(*memProfile)
+}
+
+// startCPUProfile begins a CPU profile into path; an empty path is a no-op.
+func startCPUProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return pprof.StartCPUProfile(f)
+}
+
+func writeMemProfile(path string) {
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 			os.Exit(1)

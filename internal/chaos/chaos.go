@@ -50,6 +50,11 @@ type Options struct {
 	// RecorderCap bounds the flight recorder's ring buffer; 0 selects
 	// obs.DefaultRecorderCap.
 	RecorderCap int
+	// Shards > 1 runs every trial region-sharded (scenario.Config.Shards):
+	// the same fault plans and invariants, executed by concurrent region
+	// workers. Incompatible with ArtifactDir — the obs bus is not
+	// concurrency-safe, and scenario validation rejects the combination.
+	Shards int
 }
 
 // Trial summarizes one completed soak scenario.
@@ -115,6 +120,7 @@ func compose(rng *rand.Rand, o Options) scenario.Config {
 		SensorBattery: 1e6,
 		Params:        &p,
 		Faults:        plan,
+		Shards:        o.Shards,
 	}
 }
 

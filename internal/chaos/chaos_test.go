@@ -45,6 +45,37 @@ func TestSoak(t *testing.T) {
 	}
 }
 
+// TestSoakSharded runs the same randomized fault plans region-sharded
+// (Config.Shards > 1): concurrent region workers, staged deaths, outbox
+// adoption — under the full invariant battery, with link ARQ armed and
+// deaths landing mid-window. Sharded trials must also be deterministic
+// functions of their seed, or no violation they find is replayable.
+func TestSoakSharded(t *testing.T) {
+	opt := Options{Seed: 20260807, Trials: 4, RunFor: 40 * sim.Second, Shards: 3, Log: t.Logf}
+	trials, err := Soak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != opt.Trials {
+		t.Fatalf("completed %d trials, want %d", len(trials), opt.Trials)
+	}
+	for _, tr := range trials {
+		if tr.Delivery < 0 || tr.Delivery > 1 {
+			t.Fatalf("trial seed %d: impossible delivery ratio %v", tr.Seed, tr.Delivery)
+		}
+	}
+	replay, err := Soak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trials {
+		sa, sb := trials[i].Result.Metrics.Snapshot(), replay[i].Result.Metrics.Snapshot()
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("sharded trial %d diverged between identical soak runs:\n%+v\nvs\n%+v", i, sa, sb)
+		}
+	}
+}
+
 // TestSoakDeterministic replays one trial seed and demands identical
 // metrics: a violation found by the soak must be reproducible from its
 // seed alone.

@@ -3,37 +3,129 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
+	"sync"
 	"time"
 
 	"wmsn/internal/geom"
 	"wmsn/internal/node"
+	"wmsn/internal/packet"
 	"wmsn/internal/placement"
+	"wmsn/internal/sim"
 	"wmsn/internal/trace"
 )
 
+// scaleSide returns the side of an n-sensor field at E1b's density
+// (300 sensors on a 300 m side).
+func scaleSide(n int) float64 {
+	return 300 * math.Sqrt(float64(n)/300)
+}
+
 // ScaleSweep measures the E1b hop metric on an n-sensor constant-density
 // field for each gateway count, timing each build+evaluate cycle — the
-// scalability demonstration behind `wmsnbench -scale`. Density matches E1b
-// (300 sensors on a 300 m side); topology construction and hop evaluation
-// go through the grid-indexed network package, so n=10000 completes in
-// tens of milliseconds where the pairwise scan took minutes.
+// scalability demonstration behind `wmsnbench -scale`. Topology construction
+// and hop evaluation go through the grid-indexed network package, so
+// n=10000 completes in tens of milliseconds where the pairwise scan took
+// minutes; with workers > 1 the independent gateway counts evaluate
+// concurrently, which is what keeps the 100k row interactive.
 //
 // It is not part of the golden experiment suite: the timing column is
-// machine-dependent by design.
-func ScaleSweep(n int, gateways []int, seed int64) *trace.Table {
-	side := 300 * math.Sqrt(float64(n)/300)
+// machine-dependent by design. The rows themselves are deterministic in
+// (n, seed) and independent of workers: grid placement ignores the RNG and
+// each evaluation builds its own graph.
+func ScaleSweep(n int, gateways []int, workers int, seed int64) *trace.Table {
+	side := scaleSide(n)
 	w := node.NewWorld(node.Config{Seed: seed})
 	sensors := (geom.Uniform{}).Deploy(n, geom.Square(side), w.Kernel().Rand())
 	tbl := trace.NewTable(
 		fmt.Sprintf("Scale: avg hops to nearest gateway, %d sensors uniform on %.0fm field", n, side),
 		"gateways m", "avg hops", "max hops", "unreachable", "build+eval ms")
-	for _, m := range gateways {
-		start := time.Now()
-		gpos := (placement.Grid{}).Place(sensors, m, geom.Square(side), w.Kernel().Rand())
-		ev := placement.Evaluate(sensors, gpos, 40)
-		tbl.AddRow(m, ev.AvgHops, ev.MaxHops, ev.Unreachable,
-			fmt.Sprintf("%.1f", float64(time.Since(start).Microseconds())/1000))
+	if workers < 1 {
+		workers = 1
 	}
-	tbl.AddNote("grid placement, range 40 m, constant density vs E1b")
+	type row struct {
+		ev placement.Eval
+		ms float64
+	}
+	rows := make([]row, len(gateways))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, m := range gateways {
+		wg.Add(1)
+		go func(i, m int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			// Per-worker RNG: Grid placement never draws from it, but the
+			// shared kernel RNG must not cross goroutines.
+			rng := rand.New(rand.NewSource(seed + int64(m)))
+			gpos := (placement.Grid{}).Place(sensors, m, geom.Square(side), rng)
+			rows[i] = row{
+				ev: placement.Evaluate(sensors, gpos, 40),
+				ms: float64(time.Since(start).Microseconds()) / 1000,
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	for i, m := range gateways {
+		tbl.AddRow(m, rows[i].ev.AvgHops, rows[i].ev.MaxHops, rows[i].ev.Unreachable,
+			fmt.Sprintf("%.1f", rows[i].ms))
+	}
+	tbl.AddNote(fmt.Sprintf("grid placement, range 40 m, constant density vs E1b, %d workers", workers))
+	return tbl
+}
+
+// countStack is the do-nothing sensor stack of the traffic smoke: receptions
+// are counted by the radio layer's per-lane stats, so the stack itself has
+// nothing to do.
+type countStack struct{}
+
+func (countStack) Start(*node.Device)           {}
+func (countStack) HandleMessage(*packet.Packet) {}
+
+// ScaleTraffic pushes one hello broadcast from every one of n sensors
+// through the event engine — the ~30·n-delivery wave that exercises the
+// sharded window loop end to end at field sizes the sequential kernel
+// cannot reach interactively. Shards=1 runs the plain single-kernel engine;
+// Shards=N splits the field into N vertical regions simulated by concurrent
+// workers under conservative time-window synchronization.
+//
+// Broadcasts are staggered across a fixed 1024 µs span (index mod 1024) so
+// every window carries work for all lanes regardless of n.
+func ScaleTraffic(n, shards int, seed int64) *trace.Table {
+	side := scaleSide(n)
+	region := geom.Square(side)
+	w := node.NewWorld(node.Config{Seed: seed})
+	if shards > 1 {
+		w.EnableSharding(shards, region)
+	}
+	sensors := (geom.Uniform{}).Deploy(n, region, w.Kernel().Rand())
+	for i, p := range sensors {
+		w.AddSensor(packet.NodeID(i+1), p, 40, 0, countStack{})
+	}
+	for i := range sensors {
+		d := w.Device(packet.NodeID(i + 1))
+		d.After(sim.Duration(i%1024)*sim.Microsecond, func() {
+			id := d.ID()
+			d.Send(&packet.Packet{Kind: packet.KindHello, From: id, Origin: id,
+				To: packet.Broadcast, Target: packet.Broadcast, TTL: 1})
+		})
+	}
+	start := time.Now()
+	events := w.RunUntilIdle()
+	elapsed := time.Since(start)
+	stats := w.SensorMedium().Stats()
+	tbl := trace.NewTable(
+		fmt.Sprintf("Scale: broadcast wave through the event engine, %d sensors on %.0fm field", n, side),
+		"shards", "events", "radio tx", "deliveries", "wall ms", "ev/ms")
+	ms := float64(elapsed.Microseconds()) / 1000
+	perMS := 0.0
+	if ms > 0 {
+		perMS = float64(events) / ms
+	}
+	tbl.AddRow(shards, events, stats.Transmissions, stats.Deliveries,
+		fmt.Sprintf("%.1f", ms), fmt.Sprintf("%.0f", perMS))
+	tbl.AddNote("one hello per sensor, range 40 m; deliveries ≈ degree · n")
 	return tbl
 }

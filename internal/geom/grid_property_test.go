@@ -1,0 +1,177 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The incremental GridIndex (insert/move/remove as devices churn) and the
+// build-once StaticGrid (placement/BFS pipelines) must agree: for any live
+// point set and any range query, both return exactly the points within r —
+// the set a brute-force distance scan returns. The property test drives a
+// randomized mutation sequence and cross-checks all three at checkpoints;
+// the fuzz target packs the same mutation language into a byte string.
+
+type gridModel struct {
+	idx  *GridIndex[int32]
+	pos  map[int32]Point // live points, the reference model
+	next int32
+}
+
+func newGridModel(cell float64) *gridModel {
+	return &gridModel{idx: NewGridIndex[int32](cell), pos: make(map[int32]Point)}
+}
+
+func (m *gridModel) liveIDs() []int32 {
+	ids := make([]int32, 0, len(m.pos))
+	for id := range m.pos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (m *gridModel) insert(p Point) {
+	id := m.next
+	m.next++
+	m.idx.Insert(id, p)
+	m.pos[id] = p
+}
+
+func (m *gridModel) move(id int32, to Point, t *testing.T) {
+	from, live := m.pos[id]
+	if m.idx.Move(id, from, to) != live {
+		t.Fatalf("Move(%d) reported %v, model says live=%v", id, !live, live)
+	}
+	if live {
+		m.pos[id] = to
+	}
+}
+
+func (m *gridModel) remove(id int32, t *testing.T) {
+	p, live := m.pos[id]
+	if m.idx.Remove(id, p) != live {
+		t.Fatalf("Remove(%d) reported %v, model says live=%v", id, !live, live)
+	}
+	delete(m.pos, id)
+}
+
+// check compares GridIndex and a freshly rebuilt StaticGrid against brute
+// force for a set of probes.
+func (m *gridModel) check(t *testing.T, rng *rand.Rand, side float64) {
+	t.Helper()
+	ids := m.liveIDs()
+	pts := make([]Point, len(ids))
+	for i, id := range ids {
+		pts[i] = m.pos[id]
+	}
+	var static *StaticGrid
+	if len(pts) > 0 {
+		static = NewStaticGrid(pts, m.idx.CellSize())
+	}
+	if m.idx.Len() != len(ids) {
+		t.Fatalf("GridIndex.Len = %d, model has %d live points", m.idx.Len(), len(ids))
+	}
+	for probe := 0; probe < 8; probe++ {
+		center := Point{X: (rng.Float64()*1.2 - 0.1) * side, Y: (rng.Float64()*1.2 - 0.1) * side}
+		r := rng.Float64() * side / 2
+		// Brute force over the model.
+		want := map[int32]bool{}
+		for _, id := range ids {
+			if m.pos[id].Dist2(center) <= r*r {
+				want[id] = true
+			}
+		}
+		got := m.idx.AppendWithin(nil, center, r, -1)
+		if len(got) != len(want) {
+			t.Fatalf("GridIndex query (%v, r=%g): got %d points, want %d", center, r, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("GridIndex query (%v, r=%g): spurious point %d", center, r, id)
+			}
+		}
+		if static != nil {
+			sg := static.AppendWithin(nil, center, r, -1)
+			if len(sg) != len(want) {
+				t.Fatalf("StaticGrid query (%v, r=%g): got %d points, want %d", center, r, len(sg), len(want))
+			}
+			for _, i := range sg {
+				if !want[ids[i]] {
+					t.Fatalf("StaticGrid query (%v, r=%g): spurious index %d (id %d)", center, r, i, ids[i])
+				}
+			}
+		}
+	}
+}
+
+func (m *gridModel) step(op byte, rng *rand.Rand, side float64, t *testing.T) {
+	randPoint := func() Point {
+		return Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	pick := func() (int32, bool) {
+		ids := m.liveIDs()
+		if len(ids) == 0 {
+			return 0, false
+		}
+		return ids[rng.Intn(len(ids))], true
+	}
+	switch op % 4 {
+	case 0, 1: // bias toward growth so queries have substance
+		m.insert(randPoint())
+	case 2:
+		if id, ok := pick(); ok {
+			m.move(id, randPoint(), t)
+		}
+	case 3:
+		if id, ok := pick(); ok {
+			m.remove(id, t)
+		}
+	}
+}
+
+func TestGridIndexMatchesStaticGrid(t *testing.T) {
+	const side = 100.0
+	for _, cell := range []float64{3, 25, 250} { // finer, comparable and coarser than the field
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			m := newGridModel(cell)
+			for i := 0; i < 400; i++ {
+				m.step(byte(rng.Intn(4)), rng, side, t)
+				if i%50 == 49 {
+					m.check(t, rng, side)
+				}
+			}
+			// Drain everything: Remove must hold up all the way to empty.
+			for _, id := range m.liveIDs() {
+				m.remove(id, t)
+			}
+			m.check(t, rng, side)
+		}
+	}
+}
+
+// FuzzGridIndexMatchesStaticGrid drives the same model from fuzz-chosen
+// operation bytes; positions and probes come from a PRNG seeded by the
+// input so every byte string is a reproducible scenario.
+func FuzzGridIndexMatchesStaticGrid(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 0, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 2, 2, 2, 2, 3, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		const side = 50.0
+		var seed int64
+		for _, b := range ops {
+			seed = seed*131 + int64(b)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := newGridModel(10)
+		for _, op := range ops {
+			m.step(op, rng, side, t)
+		}
+		m.check(t, rng, side)
+	})
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Concurrent mode: a sharded scenario run (Config.Shards > 1) has region
+// workers reporting into the single per-run Memory from several goroutines
+// at once. Two things change:
+//
+//   - Named counters (Inc/Add) become atomic adds. Addition commutes, so
+//     totals are identical to the sequential run no matter how worker
+//     execution interleaves.
+//
+//   - Packet fates (RecordGenerated/RecordDelivered) serialize under a
+//     mutex, and first-delivery resolution is deferred: deliveries buffer
+//     as per-key candidates, and Settle picks each key's winner by
+//     (earliest time, lowest gateway ID). The sequential path resolves
+//     "first" by execution order, which under sharding would depend on
+//     which worker grabbed the mutex first — a wall-clock race. The
+//     candidate buffer makes delivery counts, latency and hop samples, and
+//     per-gateway load a pure function of (seed, shards).
+//
+// Settle folds candidates in sorted key order; every read accessor settles
+// first, and the scenario layer settles once at summary time. Concurrent
+// mode costs one predictable branch on the sequential hot path and is never
+// enabled for unsharded runs.
+
+type deliveryCandidate struct {
+	at   sim.Time
+	gw   packet.NodeID
+	hops int
+}
+
+type concurrentState struct {
+	mu      sync.Mutex
+	winners map[floodKey]deliveryCandidate
+}
+
+// EnableConcurrent switches this sink to multi-goroutine operation. Must be
+// called before any stack reports (the scenario layer calls it at build
+// time for sharded runs).
+func (m *Memory) EnableConcurrent() {
+	if m.conc == nil {
+		m.conc = &concurrentState{winners: make(map[floodKey]deliveryCandidate)}
+	}
+}
+
+// Concurrent reports whether the sink is in multi-goroutine mode.
+func (m *Memory) Concurrent() bool { return m.conc != nil }
+
+func (m *Memory) recordGeneratedConcurrent(origin packet.NodeID, seq uint32, now sim.Time) {
+	c := m.conc
+	c.mu.Lock()
+	m.Generated++
+	m.pending[floodKey{origin, seq}] = pendingData{at: now}
+	c.mu.Unlock()
+}
+
+func (m *Memory) recordDeliveredConcurrent(origin packet.NodeID, seq uint32, gw packet.NodeID, hops int, now sim.Time) {
+	k := floodKey{origin, seq}
+	c := m.conc
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := m.delivered[k]; dup {
+		m.Duplicates++
+		return
+	}
+	cand := deliveryCandidate{at: now, gw: gw, hops: hops}
+	if w, ok := c.winners[k]; ok {
+		m.Duplicates++
+		if cand.at < w.at || (cand.at == w.at && cand.gw < w.gw) {
+			c.winners[k] = cand
+		}
+		return
+	}
+	c.winners[k] = cand
+}
+
+// Settle resolves every buffered delivery candidate into the final
+// aggregates, in sorted (origin, seq) order so the fold is deterministic.
+// A no-op for sequential sinks and when nothing is buffered; safe to call
+// repeatedly, but only once all reporting goroutines have quiesced.
+func (m *Memory) Settle() {
+	c := m.conc
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.winners) == 0 {
+		return
+	}
+	keys := make([]floodKey, 0, len(c.winners))
+	for k := range c.winners {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		return a.seq < b.seq
+	})
+	for _, k := range keys {
+		w := c.winners[k]
+		m.delivered[k] = struct{}{}
+		m.Delivered++
+		m.perGateway[w.gw]++
+		m.hops = append(m.hops, w.hops)
+		if p, ok := m.pending[k]; ok {
+			m.latencies = append(m.latencies, w.at-p.at)
+			delete(m.pending, k)
+		}
+	}
+	clear(c.winners)
+}

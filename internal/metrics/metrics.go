@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"wmsn/internal/obs"
 	"wmsn/internal/packet"
@@ -188,6 +189,7 @@ type Memory struct {
 	perGateway map[packet.NodeID]uint64
 	delivered  map[floodKey]struct{}
 	obs        *obs.Bus
+	conc       *concurrentState // non-nil in multi-goroutine mode (concurrent.go)
 }
 
 var _ Sink = (*Memory)(nil)
@@ -275,6 +277,10 @@ func (m *Memory) counterPtr(c Counter) *uint64 {
 // Inc adds one to a named counter. Unknown counters are ignored.
 func (m *Memory) Inc(c Counter) {
 	if p := m.counterPtr(c); p != nil {
+		if m.conc != nil {
+			atomic.AddUint64(p, 1)
+			return
+		}
 		*p++
 	}
 }
@@ -282,6 +288,10 @@ func (m *Memory) Inc(c Counter) {
 // Add adds n to a named counter. Unknown counters are ignored.
 func (m *Memory) Add(c Counter, n uint64) {
 	if p := m.counterPtr(c); p != nil {
+		if m.conc != nil {
+			atomic.AddUint64(p, n)
+			return
+		}
 		*p += n
 	}
 }
@@ -289,6 +299,9 @@ func (m *Memory) Add(c Counter, n uint64) {
 // Count returns the current value of a named counter (0 when unknown).
 func (m *Memory) Count(c Counter) uint64 {
 	if p := m.counterPtr(c); p != nil {
+		if m.conc != nil {
+			return atomic.LoadUint64(p)
+		}
 		return *p
 	}
 	return 0
@@ -303,6 +316,10 @@ func (m *Memory) SetObserver(b *obs.Bus) { m.obs = b }
 
 // RecordGenerated notes a data packet leaving its origin.
 func (m *Memory) RecordGenerated(origin packet.NodeID, seq uint32, now sim.Time) {
+	if m.conc != nil {
+		m.recordGeneratedConcurrent(origin, seq, now)
+		return
+	}
 	m.Generated++
 	m.pending[floodKey{origin, seq}] = pendingData{at: now}
 	if m.obs.Active() {
@@ -312,6 +329,10 @@ func (m *Memory) RecordGenerated(origin packet.NodeID, seq uint32, now sim.Time)
 
 // RecordDelivered notes a data packet accepted by gateway gw.
 func (m *Memory) RecordDelivered(origin packet.NodeID, seq uint32, gw packet.NodeID, hops int, now sim.Time) {
+	if m.conc != nil {
+		m.recordDeliveredConcurrent(origin, seq, gw, hops, now)
+		return
+	}
 	k := floodKey{origin, seq}
 	if _, dup := m.delivered[k]; dup {
 		m.Duplicates++
@@ -333,11 +354,15 @@ func (m *Memory) RecordDelivered(origin packet.NodeID, seq uint32, gw packet.Nod
 // PendingCount returns how many generated packets have not (yet) been
 // delivered — the observability sampler's "in flight" gauge. O(1), no
 // allocation.
-func (m *Memory) PendingCount() int { return len(m.pending) }
+func (m *Memory) PendingCount() int {
+	m.Settle()
+	return len(m.pending)
+}
 
 // Undelivered lists (origin, seq) pairs generated but never delivered, in
 // unspecified order — post-mortem debugging and loss analysis.
 func (m *Memory) Undelivered() [][2]uint64 {
+	m.Settle()
 	out := make([][2]uint64, 0, len(m.pending))
 	for k := range m.pending {
 		out = append(out, [2]uint64{uint64(k.origin), uint64(k.seq)})
@@ -347,6 +372,7 @@ func (m *Memory) Undelivered() [][2]uint64 {
 
 // DeliveryRatio returns Delivered/Generated (1 when nothing was generated).
 func (m *Memory) DeliveryRatio() float64 {
+	m.Settle()
 	if m.Generated == 0 {
 		return 1
 	}
@@ -355,6 +381,7 @@ func (m *Memory) DeliveryRatio() float64 {
 
 // MeanHops returns the average hop count over delivered data.
 func (m *Memory) MeanHops() float64 {
+	m.Settle()
 	if len(m.hops) == 0 {
 		return 0
 	}
@@ -367,6 +394,7 @@ func (m *Memory) MeanHops() float64 {
 
 // MeanLatency returns the average origination-to-delivery latency.
 func (m *Memory) MeanLatency() sim.Duration {
+	m.Settle()
 	if len(m.latencies) == 0 {
 		return 0
 	}
@@ -381,6 +409,7 @@ func (m *Memory) MeanLatency() sim.Duration {
 // [0, 100]: p <= 0 (and NaN) return the minimum sample, p >= 100 the
 // maximum. The zero duration is returned when nothing has been delivered.
 func (m *Memory) LatencyPercentile(p float64) sim.Duration {
+	m.Settle()
 	if len(m.latencies) == 0 {
 		return 0
 	}
@@ -406,6 +435,7 @@ func (m *Memory) LatencyPercentile(p float64) sim.Duration {
 // were accepted by gateways — the forged-data-accepted metric of the Sybil
 // experiment.
 func (m *Memory) DeliveredFrom(origin packet.NodeID) uint64 {
+	m.Settle()
 	var n uint64
 	for k := range m.delivered {
 		if k.origin == origin {
@@ -417,6 +447,7 @@ func (m *Memory) DeliveredFrom(origin packet.NodeID) uint64 {
 
 // PerGateway returns deliveries per gateway ID (load-balance metric, E8).
 func (m *Memory) PerGateway() map[packet.NodeID]uint64 {
+	m.Settle()
 	out := make(map[packet.NodeID]uint64, len(m.perGateway))
 	for k, v := range m.perGateway {
 		out[k] = v
@@ -427,6 +458,7 @@ func (m *Memory) PerGateway() map[packet.NodeID]uint64 {
 // GatewayLoadImbalance returns max/mean deliveries across gateways
 // (1 = perfectly balanced; 0 when no gateway delivered anything).
 func (m *Memory) GatewayLoadImbalance() float64 {
+	m.Settle()
 	if len(m.perGateway) == 0 {
 		return 0
 	}

@@ -168,7 +168,7 @@ func (d *Device) arqEnqueue(pkt *packet.Packet) bool {
 		a.inc(metrics.QueueDrops)
 		if d.world.obs.Active() {
 			d.world.obs.Emit(obs.Event{
-				At: d.world.kernel.Now(), Kind: obs.QueueDrop, Node: d.id, Peer: pkt.To,
+				At: d.Now(), Kind: obs.QueueDrop, Node: d.id, Peer: pkt.To,
 				Origin: pkt.Origin, Seq: pkt.Seq,
 			})
 		}
@@ -190,10 +190,10 @@ func (d *Device) arqTransmitHead() {
 	if !d.transmitSensor(a.queue[0]) {
 		return // device died mid-transmit; kill flushed the queue
 	}
-	if !d.alive || len(a.queue) == 0 {
+	if !d.Alive() || len(a.queue) == 0 {
 		return
 	}
-	a.timer = d.world.kernel.After(radio.RetryBackoff(a.cfg.AckWait, a.attempt), a.timeoutFn)
+	a.timer = d.kern().After(radio.RetryBackoff(a.cfg.AckWait, a.attempt), a.timeoutFn)
 }
 
 // arqPop retires the head frame and starts the next one.
@@ -214,7 +214,7 @@ func (d *Device) arqPop() {
 // reroute.
 func (d *Device) arqTimeout() {
 	a := d.arq
-	if a == nil || !d.alive || len(a.queue) == 0 {
+	if a == nil || !d.Alive() || len(a.queue) == 0 {
 		return
 	}
 	a.timer = nil
@@ -224,7 +224,7 @@ func (d *Device) arqTimeout() {
 		if d.world.obs.Active() {
 			head := a.queue[0]
 			d.world.obs.Emit(obs.Event{
-				At: d.world.kernel.Now(), Kind: obs.LinkRetry, Node: d.id, Peer: head.To,
+				At: d.Now(), Kind: obs.LinkRetry, Node: d.id, Peer: head.To,
 				Origin: head.Origin, Seq: head.Seq, Value: int64(a.attempt),
 			})
 		}
@@ -235,7 +235,7 @@ func (d *Device) arqTimeout() {
 	a.inc(metrics.LinkFailures)
 	if d.world.obs.Active() {
 		d.world.obs.Emit(obs.Event{
-			At: d.world.kernel.Now(), Kind: obs.LinkFailure, Node: d.id, Peer: head.To,
+			At: d.Now(), Kind: obs.LinkFailure, Node: d.id, Peer: head.To,
 			Origin: head.Origin, Seq: head.Seq,
 		})
 	}
@@ -261,7 +261,7 @@ func (d *Device) arqHandleAck(ack *packet.Packet) {
 	if d.world.obs.Active() {
 		head := a.queue[0]
 		d.world.obs.Emit(obs.Event{
-			At: d.world.kernel.Now(), Kind: obs.LinkAck, Node: d.id, Peer: head.To,
+			At: d.Now(), Kind: obs.LinkAck, Node: d.id, Peer: head.To,
 			Origin: head.Origin, Seq: head.Seq,
 		})
 	}
@@ -277,10 +277,10 @@ func (d *Device) arqAckAndFilter(pkt *packet.Packet) bool {
 	if d.transmitSensor(radio.LinkAckFor(pkt, d.id)) {
 		a.inc(metrics.LinkAckSent)
 	}
-	if !d.alive {
+	if !d.Alive() {
 		return false // the ACK transmission drained the battery
 	}
-	now := d.world.kernel.Now()
+	now := d.Now()
 	for len(a.seenFIFO) > 0 && a.seenFIFO[0].expires <= now {
 		e := a.seenFIFO[0]
 		a.seenFIFO = a.seenFIFO[1:]
@@ -311,7 +311,7 @@ func (d *Device) arqFlush() {
 	if n := len(a.queue); n > 0 {
 		a.add(metrics.LinkFlushed, uint64(n))
 		if d.world.obs.Active() {
-			now := d.world.kernel.Now()
+			now := d.Now()
 			for _, pkt := range a.queue {
 				d.world.obs.Emit(obs.Event{
 					At: now, Kind: obs.PacketExpired, Node: d.id,

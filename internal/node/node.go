@@ -77,41 +77,70 @@ type Stack interface {
 	HandleMessage(pkt *packet.Packet)
 }
 
-// Device is one node in the world.
+// Device is one node in the world. It is a thin view: the hot per-device
+// state (alive flag, position, battery charge, promiscuous bit and the
+// overhead counters) lives in the owning World's struct-of-arrays core,
+// indexed by the device's dense handle. The view holds only identity,
+// attachments and protocol machinery, so iterating devices during a run
+// touches contiguous arrays instead of chasing pointers.
 type Device struct {
 	id    packet.NodeID
 	kind  Kind
+	h     int32 // dense handle into the World's SoA arrays
 	world *World
 
 	sensorSt *radio.Station // nil for MeshRouter/BaseStation
 	meshSt   *radio.Station // nil for Sensor
 
-	battery *energy.Battery
-	model   energy.Model
+	model energy.Model
 
 	stack       Stack
 	meshHandler func(*packet.Packet)
 	arq         *arqState // hop-by-hop link ARQ; nil unless enabled (arq.go)
+}
 
-	alive bool
-	// Saved attachment state so a dead device can Recover: positions and
-	// ranges are captured by kill before the stations are detached.
-	lastPos              geom.Point
-	lastSensorRange      float64
-	lastMeshRange        float64
-	lastSensorListening  bool
-	hadSensorSt, hadMesh bool
-	// promiscuous devices receive unicast packets addressed to others
-	// (used by eavesdropping and wormhole attackers). Set through
-	// SetPromiscuous so the radio stations learn about it too: the medium
-	// hands eavesdroppers private packet clones while ordinary overhearers
-	// share one read-only copy per transmission.
-	promiscuous bool
+// attachSnapshot captures the radio attachment state of a device at the
+// moment it dies, so Recover can re-attach the stations exactly as they
+// were: position, per-medium ranges, the sensor listening flag and which
+// media the device was on. One snapshot row per device lives in the World's
+// SoA core and is overwritten on every kill.
+type attachSnapshot struct {
+	pos                geom.Point
+	sensorRange        float64
+	meshRange          float64
+	sensorListening    bool
+	hadSensor, hadMesh bool
+}
 
-	// Counters for overhead accounting.
-	SentPackets uint64
-	SentBytes   uint64
-	RecvPackets uint64
+// soa is the struct-of-arrays hot core: one row per device, indexed by
+// Device.h in insertion order. Rows are never removed — handles stay dense
+// and stable for the life of the World — but the backing slices may be
+// reallocated by device additions, so pointers into them (Device.Battery)
+// must not be held across Add* calls. See DESIGN.md, "Sharded execution".
+type soa struct {
+	alive     []bool
+	promisc   []bool
+	pos       []geom.Point
+	batteries []energy.Battery
+	sent      []uint64
+	sentBytes []uint64
+	recv      []uint64
+	snaps     []attachSnapshot
+	lane      []int32 // owning shard lane; all zero when Shards <= 1
+}
+
+func (s *soa) grow(pos geom.Point, bat energy.Battery, lane int32) int32 {
+	h := int32(len(s.alive))
+	s.alive = append(s.alive, true)
+	s.promisc = append(s.promisc, false)
+	s.pos = append(s.pos, pos)
+	s.batteries = append(s.batteries, bat)
+	s.sent = append(s.sent, 0)
+	s.sentBytes = append(s.sentBytes, 0)
+	s.recv = append(s.recv, 0)
+	s.snaps = append(s.snaps, attachSnapshot{})
+	s.lane = append(s.lane, lane)
+	return h
 }
 
 // ID returns the device's node ID.
@@ -123,20 +152,18 @@ func (d *Device) Kind() Kind { return d.kind }
 // World returns the owning world.
 func (d *Device) World() *World { return d.world }
 
-// Pos returns the device's position (sensor station when present, otherwise
-// mesh station).
+// Pos returns the device's position (the zero point for a dead, detached
+// device, matching the historical station-derived behavior).
 func (d *Device) Pos() geom.Point {
-	if d.sensorSt != nil {
-		return d.sensorSt.Pos()
+	if d.sensorSt == nil && d.meshSt == nil {
+		return geom.Point{}
 	}
-	if d.meshSt != nil {
-		return d.meshSt.Pos()
-	}
-	return geom.Point{}
+	return d.world.soa.pos[d.h]
 }
 
 // Move relocates the device on every medium it is attached to.
 func (d *Device) Move(p geom.Point) {
+	d.world.soa.pos[d.h] = p
 	if d.sensorSt != nil {
 		d.sensorSt.Move(p)
 	}
@@ -145,11 +172,23 @@ func (d *Device) Move(p geom.Point) {
 	}
 }
 
-// Battery returns the device's battery.
-func (d *Device) Battery() *energy.Battery { return d.battery }
+// Battery returns the device's battery. The pointer aims into the World's
+// SoA core: use it and drop it — it is invalidated by the next device
+// addition (slice growth), though never by deaths or recoveries.
+func (d *Device) Battery() *energy.Battery { return &d.world.soa.batteries[d.h] }
 
 // Alive reports whether the device is operating.
-func (d *Device) Alive() bool { return d.alive }
+func (d *Device) Alive() bool { return d.world.soa.alive[d.h] }
+
+// SentPackets returns the count of frames this device put on the air.
+func (d *Device) SentPackets() uint64 { return d.world.soa.sent[d.h] }
+
+// SentBytes returns the total payload bytes this device put on the air.
+func (d *Device) SentBytes() uint64 { return d.world.soa.sentBytes[d.h] }
+
+// RecvPackets returns the count of frames this device consumed (addressed
+// to it, broadcast, or overheard promiscuously).
+func (d *Device) RecvPackets() uint64 { return d.world.soa.recv[d.h] }
 
 // Stack returns the sensor-layer protocol stack.
 func (d *Device) Stack() Stack { return d.stack }
@@ -165,7 +204,7 @@ func (d *Device) MeshStation() *radio.Station { return d.meshSt }
 func (d *Device) SetMeshHandler(f func(*packet.Packet)) { d.meshHandler = f }
 
 // Promiscuous reports whether the device consumes overheard unicasts.
-func (d *Device) Promiscuous() bool { return d.promiscuous }
+func (d *Device) Promiscuous() bool { return d.world.soa.promisc[d.h] }
 
 // SetPromiscuous marks the device as an eavesdropper: unicast packets
 // addressed to other nodes are handed to its stack instead of being
@@ -173,7 +212,7 @@ func (d *Device) Promiscuous() bool { return d.promiscuous }
 // stations (and re-applied on Recover) so the medium clones overheard
 // frames privately for this device.
 func (d *Device) SetPromiscuous(on bool) {
-	d.promiscuous = on
+	d.world.soa.promisc[d.h] = on
 	if d.sensorSt != nil {
 		d.sensorSt.SetPromiscuous(on)
 	}
@@ -182,12 +221,29 @@ func (d *Device) SetPromiscuous(on bool) {
 	}
 }
 
-// Now returns the current virtual time.
-func (d *Device) Now() sim.Time { return d.world.kernel.Now() }
+// kern returns the kernel this device's per-device work runs on: the
+// world's (only) kernel in sequential mode, the device's region lane when
+// the world is sharded. Receive handlers, stack timers armed through
+// Device.After, and ARQ timers all live on this kernel.
+func (d *Device) kern() *sim.Kernel {
+	if d.world.lanes == nil {
+		return d.world.kernel
+	}
+	return d.world.lanes[d.world.soa.lane[d.h]].k
+}
 
-// After schedules fn on the world's kernel.
+// Now returns the current virtual time as seen by this device.
+func (d *Device) Now() sim.Time { return d.kern().Now() }
+
+// After schedules fn on the kernel driving this device (the world kernel,
+// or the device's region lane when sharded).
 func (d *Device) After(delay sim.Duration, fn func()) *sim.Timer {
-	return d.world.kernel.After(delay, fn)
+	return d.kern().After(delay, fn)
+}
+
+// Every schedules fn periodically on the kernel driving this device.
+func (d *Device) Every(interval sim.Duration, fn func()) *sim.Repeater {
+	return d.kern().Every(interval, fn)
 }
 
 // Send transmits pkt on the sensor-layer medium, charging transmission
@@ -201,7 +257,7 @@ func (d *Device) After(delay sim.Duration, fn func()) *sim.Timer {
 // frame in flight), false means the queue is full and the frame was dropped
 // under backpressure.
 func (d *Device) Send(pkt *packet.Packet) bool {
-	if !d.alive || d.sensorSt == nil {
+	if !d.world.soa.alive[d.h] || d.sensorSt == nil {
 		return false
 	}
 	if d.arq != nil && arqEligible(pkt) {
@@ -214,23 +270,24 @@ func (d *Device) Send(pkt *packet.Packet) bool {
 // account, and put the frame on the air. ARQ retransmissions and LINK-ACKs
 // come through here directly, bypassing the queue.
 func (d *Device) transmitSensor(pkt *packet.Packet) bool {
-	if !d.alive || d.sensorSt == nil {
+	w := d.world
+	if !w.soa.alive[d.h] || d.sensorSt == nil {
 		return false
 	}
 	cost := d.model.TxCost(pkt.SizeBits(), d.sensorSt.Range())
-	if !d.battery.DrawTx(cost) {
-		d.world.kill(d, CauseBattery)
+	if !w.soa.batteries[d.h].DrawTx(cost) {
+		w.kill(d, CauseBattery)
 		return false
 	}
-	d.SentPackets++
-	d.SentBytes += uint64(pkt.Size())
-	if d.world.obs.Active() && arqEligible(pkt) {
-		d.world.obs.Emit(obs.Event{
-			At: d.world.kernel.Now(), Kind: obs.LinkTx, Node: d.id, Peer: pkt.To,
+	w.soa.sent[d.h]++
+	w.soa.sentBytes[d.h] += uint64(pkt.Size())
+	if w.obs.Active() && arqEligible(pkt) {
+		w.obs.Emit(obs.Event{
+			At: d.Now(), Kind: obs.LinkTx, Node: d.id, Peer: pkt.To,
 			Origin: pkt.Origin, Seq: pkt.Seq, Value: int64(pkt.TTL),
 		})
 	}
-	d.world.sensorMedium.Transmit(d.sensorSt, pkt)
+	w.sensorMedium.Transmit(d.sensorSt, pkt)
 	return true
 }
 
@@ -239,26 +296,27 @@ func (d *Device) transmitSensor(pkt *packet.Packet) bool {
 // protocols use this for direct long-distance hops to cluster heads and
 // sinks.
 func (d *Device) SendRange(pkt *packet.Packet, rangeM float64) bool {
-	if !d.alive || d.sensorSt == nil {
+	w := d.world
+	if !w.soa.alive[d.h] || d.sensorSt == nil {
 		return false
 	}
 	orig := d.sensorSt.Range()
 	d.sensorSt.SetRange(rangeM)
 	cost := d.model.TxCost(pkt.SizeBits(), rangeM)
-	if !d.battery.DrawTx(cost) {
+	if !w.soa.batteries[d.h].DrawTx(cost) {
 		d.sensorSt.SetRange(orig)
-		d.world.kill(d, CauseBattery)
+		w.kill(d, CauseBattery)
 		return false
 	}
-	d.SentPackets++
-	d.SentBytes += uint64(pkt.Size())
-	if d.world.obs.Active() && arqEligible(pkt) {
-		d.world.obs.Emit(obs.Event{
-			At: d.world.kernel.Now(), Kind: obs.LinkTx, Node: d.id, Peer: pkt.To,
+	w.soa.sent[d.h]++
+	w.soa.sentBytes[d.h] += uint64(pkt.Size())
+	if w.obs.Active() && arqEligible(pkt) {
+		w.obs.Emit(obs.Event{
+			At: d.Now(), Kind: obs.LinkTx, Node: d.id, Peer: pkt.To,
 			Origin: pkt.Origin, Seq: pkt.Seq, Value: int64(pkt.TTL),
 		})
 	}
-	d.world.sensorMedium.Transmit(d.sensorSt, pkt)
+	w.sensorMedium.Transmit(d.sensorSt, pkt)
 	d.sensorSt.SetRange(orig)
 	return true
 }
@@ -275,17 +333,18 @@ func (d *Device) SensorNeighbors() []packet.NodeID {
 // SendMesh transmits pkt on the mesh medium. Mesh nodes are mains- or
 // generator-powered in the architecture, but energy is still accounted.
 func (d *Device) SendMesh(pkt *packet.Packet) bool {
-	if !d.alive || d.meshSt == nil {
+	w := d.world
+	if !w.soa.alive[d.h] || d.meshSt == nil {
 		return false
 	}
 	cost := d.model.TxCost(pkt.SizeBits(), d.meshSt.Range())
-	if !d.battery.DrawTx(cost) {
-		d.world.kill(d, CauseBattery)
+	if !w.soa.batteries[d.h].DrawTx(cost) {
+		w.kill(d, CauseBattery)
 		return false
 	}
-	d.SentPackets++
-	d.SentBytes += uint64(pkt.Size())
-	d.world.meshMedium.Transmit(d.meshSt, pkt)
+	w.soa.sent[d.h]++
+	w.soa.sentBytes[d.h] += uint64(pkt.Size())
+	w.meshMedium.Transmit(d.meshSt, pkt)
 	return true
 }
 
@@ -293,20 +352,21 @@ func (d *Device) SendMesh(pkt *packet.Packet) bool {
 // unicast packets addressed elsewhere (unless promiscuous), and hands the
 // packet to the stack.
 func (d *Device) receive(pkt *packet.Packet) {
-	if !d.alive {
+	w := d.world
+	if !w.soa.alive[d.h] {
 		return
 	}
-	if !d.battery.DrawRx(d.model.RxCost(pkt.SizeBits())) {
-		d.world.kill(d, CauseBattery)
+	if !w.soa.batteries[d.h].DrawRx(d.model.RxCost(pkt.SizeBits())) {
+		w.kill(d, CauseBattery)
 		return
 	}
-	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.promiscuous {
+	if pkt.To != packet.Broadcast && pkt.To != d.id && !w.soa.promisc[d.h] {
 		return // overheard someone else's unicast; energy spent, nothing more
 	}
 	if d.arq != nil {
 		if pkt.Kind == packet.KindLinkAck {
 			// LINK-ACKs terminate at the link layer, never at a stack.
-			d.RecvPackets++
+			w.soa.recv[d.h]++
 			if pkt.To == d.id {
 				d.arqHandleAck(pkt)
 			}
@@ -316,7 +376,7 @@ func (d *Device) receive(pkt *packet.Packet) {
 			return // duplicate (re-ACKed) or the ACK drained the battery
 		}
 	}
-	d.RecvPackets++
+	w.soa.recv[d.h]++
 	if d.stack != nil {
 		d.stack.HandleMessage(pkt)
 	}
@@ -324,17 +384,18 @@ func (d *Device) receive(pkt *packet.Packet) {
 
 // receiveMesh handles a mesh-layer delivery.
 func (d *Device) receiveMesh(pkt *packet.Packet) {
-	if !d.alive {
+	w := d.world
+	if !w.soa.alive[d.h] {
 		return
 	}
-	if !d.battery.DrawRx(d.model.RxCost(pkt.SizeBits())) {
-		d.world.kill(d, CauseBattery)
+	if !w.soa.batteries[d.h].DrawRx(d.model.RxCost(pkt.SizeBits())) {
+		w.kill(d, CauseBattery)
 		return
 	}
-	if pkt.To != packet.Broadcast && pkt.To != d.id && !d.promiscuous {
+	if pkt.To != packet.Broadcast && pkt.To != d.id && !w.soa.promisc[d.h] {
 		return
 	}
-	d.RecvPackets++
+	w.soa.recv[d.h]++
 	if d.meshHandler != nil {
 		d.meshHandler(pkt)
 	}
@@ -357,23 +418,25 @@ func (d *Device) FailCause(c DeathCause) { d.world.kill(d, c) }
 // re-joins the backbone on its next HELLO tick. Recover reports whether it
 // actually revived the device (false when it is already alive).
 func (d *Device) Recover() bool {
-	if d.alive {
+	w := d.world
+	if w.soa.alive[d.h] {
 		return false
 	}
-	w := d.world
-	if d.hadSensorSt {
-		d.sensorSt = w.sensorMedium.Attach(d.id, d.lastPos, d.lastSensorRange, d.receive)
-		d.sensorSt.SetListening(d.lastSensorListening)
+	snap := w.soa.snaps[d.h]
+	if snap.hadSensor {
+		d.sensorSt = w.sensorMedium.Attach(d.id, snap.pos, snap.sensorRange, d.receive)
+		d.sensorSt.SetListening(snap.sensorListening)
 	}
-	if d.hadMesh {
-		d.meshSt = w.meshMedium.Attach(d.id, d.lastPos, d.lastMeshRange, d.receiveMesh)
+	if snap.hadMesh {
+		d.meshSt = w.meshMedium.Attach(d.id, snap.pos, snap.meshRange, d.receiveMesh)
 	}
-	if d.promiscuous {
+	w.soa.pos[d.h] = snap.pos
+	if w.soa.promisc[d.h] {
 		// The fresh stations must re-learn the eavesdropper flag so the
 		// medium keeps cloning overheard frames privately for this device.
 		d.SetPromiscuous(true)
 	}
-	d.alive = true
+	w.soa.alive[d.h] = true
 	if d.kind == Sensor {
 		w.sensorsAlive++
 	}
@@ -427,6 +490,10 @@ type World struct {
 
 	devices map[packet.NodeID]*Device
 	order   []packet.NodeID // insertion order, for deterministic iteration
+	soa     soa             // dense per-device hot state, indexed by Device.h
+
+	lanes []*lane     // region lanes when sharded (sharded.go); nil otherwise
+	shard *shardState // sharding bookkeeping; nil when Shards <= 1
 
 	deaths       []DeathRecord
 	firstDeath   sim.Time
@@ -535,10 +602,23 @@ func (w *World) DevicesOfKind(k Kind) []*Device {
 	return out
 }
 
-func (w *World) register(d *Device) {
-	if _, dup := w.devices[d.id]; dup {
-		panic(fmt.Sprintf("node: device %v added twice", d.id))
+// newDevice allocates the SoA row and the thin view for a device about to
+// join the world. The duplicate check runs before the row is grown so a
+// panic leaves the arrays consistent.
+func (w *World) newDevice(id packet.NodeID, kind Kind, pos geom.Point, bat energy.Battery, stack Stack) *Device {
+	if _, dup := w.devices[id]; dup {
+		panic(fmt.Sprintf("node: device %v added twice", id))
 	}
+	d := &Device{
+		id: id, kind: kind, world: w,
+		model: w.cfg.EnergyModel,
+		stack: stack,
+	}
+	d.h = w.soa.grow(pos, bat, w.laneFor(pos))
+	return d
+}
+
+func (w *World) register(d *Device) {
 	w.devices[d.id] = d
 	w.order = append(w.order, d.id)
 	if d.kind == Sensor {
@@ -556,13 +636,7 @@ func (w *World) AddSensor(id packet.NodeID, pos geom.Point, rangeM float64, batt
 	if batteryJ == 0 {
 		batteryJ = w.cfg.SensorBattery
 	}
-	d := &Device{
-		id: id, kind: Sensor, world: w,
-		battery: energy.NewBattery(batteryJ),
-		model:   w.cfg.EnergyModel,
-		stack:   stack,
-		alive:   true,
-	}
+	d := w.newDevice(id, Sensor, pos, *energy.NewBattery(batteryJ), stack)
 	d.sensorSt = w.sensorMedium.Attach(id, pos, rangeM, d.receive)
 	w.register(d)
 	return d
@@ -570,13 +644,7 @@ func (w *World) AddSensor(id packet.NodeID, pos geom.Point, rangeM float64, batt
 
 // AddGateway creates a WMG attached to both media with unrestricted energy.
 func (w *World) AddGateway(id packet.NodeID, pos geom.Point, sensorRange, meshRange float64, stack Stack) *Device {
-	d := &Device{
-		id: id, kind: Gateway, world: w,
-		battery: energy.Infinite(),
-		model:   w.cfg.EnergyModel,
-		stack:   stack,
-		alive:   true,
-	}
+	d := w.newDevice(id, Gateway, pos, *energy.Infinite(), stack)
 	d.sensorSt = w.sensorMedium.Attach(id, pos, sensorRange, d.receive)
 	d.meshSt = w.meshMedium.Attach(id, pos, meshRange, d.receiveMesh)
 	w.register(d)
@@ -585,12 +653,7 @@ func (w *World) AddGateway(id packet.NodeID, pos geom.Point, sensorRange, meshRa
 
 // AddMeshRouter creates a WMR attached to the mesh medium only.
 func (w *World) AddMeshRouter(id packet.NodeID, pos geom.Point, meshRange float64) *Device {
-	d := &Device{
-		id: id, kind: MeshRouter, world: w,
-		battery: energy.Infinite(),
-		model:   w.cfg.EnergyModel,
-		alive:   true,
-	}
+	d := w.newDevice(id, MeshRouter, pos, *energy.Infinite(), nil)
 	d.meshSt = w.meshMedium.Attach(id, pos, meshRange, d.receiveMesh)
 	w.register(d)
 	return d
@@ -598,12 +661,7 @@ func (w *World) AddMeshRouter(id packet.NodeID, pos geom.Point, meshRange float6
 
 // AddBaseStation creates a base station on the mesh medium.
 func (w *World) AddBaseStation(id packet.NodeID, pos geom.Point, meshRange float64) *Device {
-	d := &Device{
-		id: id, kind: BaseStation, world: w,
-		battery: energy.Infinite(),
-		model:   w.cfg.EnergyModel,
-		alive:   true,
-	}
+	d := w.newDevice(id, BaseStation, pos, *energy.Infinite(), nil)
 	d.meshSt = w.meshMedium.Attach(id, pos, meshRange, d.receiveMesh)
 	w.register(d)
 	return d
@@ -613,32 +671,45 @@ func (w *World) AddBaseStation(id packet.NodeID, pos geom.Point, meshRange float
 func (w *World) OnDeath(fn func(DeathRecord)) { w.onDeath = append(w.onDeath, fn) }
 
 func (w *World) kill(d *Device, cause DeathCause) {
-	if !d.alive {
+	if !w.soa.alive[d.h] {
 		return
 	}
-	d.alive = false
+	w.soa.alive[d.h] = false
 	d.arqFlush()
-	d.lastPos = d.Pos()
-	d.hadSensorSt, d.hadMesh = d.sensorSt != nil, d.meshSt != nil
+	snap := attachSnapshot{pos: d.Pos()}
+	snap.hadSensor, snap.hadMesh = d.sensorSt != nil, d.meshSt != nil
 	if d.sensorSt != nil {
-		d.lastSensorRange = d.sensorSt.Range()
-		d.lastSensorListening = d.sensorSt.Listening()
-		w.sensorMedium.Detach(d.id)
+		snap.sensorRange = d.sensorSt.Range()
+		snap.sensorListening = d.sensorSt.Listening()
+		w.detachStation(w.sensorMedium, d.id)
 		d.sensorSt = nil
 	}
 	if d.meshSt != nil {
-		d.lastMeshRange = d.meshSt.Range()
-		w.meshMedium.Detach(d.id)
+		snap.meshRange = d.meshSt.Range()
+		w.detachStation(w.meshMedium, d.id)
 		d.meshSt = nil
 	}
-	rec := DeathRecord{ID: d.id, At: w.kernel.Now(), Cause: cause}
+	w.soa.snaps[d.h] = snap
+	rec := DeathRecord{ID: d.id, At: d.Now(), Cause: cause}
+	if w.inParallel() {
+		w.stageDeath(d, rec)
+		return
+	}
+	w.finishKill(d, rec)
+}
+
+// finishKill applies the world-level effects of a death: the record, the
+// lifetime gauges, the trace event and the registered callbacks. In a
+// sharded run these effects are deferred to the next window barrier so they
+// execute on one goroutine in a deterministic order.
+func (w *World) finishKill(d *Device, rec DeathRecord) {
 	w.deaths = append(w.deaths, rec)
 	if w.obs.Active() {
 		k := obs.NodeDeath
 		if d.kind == Gateway {
 			k = obs.GatewayDeath
 		}
-		w.obs.Emit(obs.Event{At: rec.At, Kind: k, Node: d.id, Detail: cause.String()})
+		w.obs.Emit(obs.Event{At: rec.At, Kind: k, Node: d.id, Detail: rec.Cause.String()})
 	}
 	if d.kind == Sensor {
 		w.sensorsAlive--
@@ -669,25 +740,38 @@ func (w *World) SensorEnergyStats() energy.Stats {
 	var bats []*energy.Battery
 	for _, d := range w.Devices() {
 		if d.kind == Sensor {
-			bats = append(bats, d.battery)
+			bats = append(bats, &w.soa.batteries[d.h])
 		}
 	}
 	return energy.Summarize(bats)
 }
 
-// Run drives the simulation until the given horizon.
-func (w *World) Run(until sim.Time) uint64 { return w.kernel.Run(until) }
+// Run drives the simulation until the given horizon. With sharding enabled
+// (EnableSharding) the run is executed as a sequence of conservative time
+// windows over concurrent region workers; otherwise it is a plain
+// single-kernel run.
+func (w *World) Run(until sim.Time) uint64 {
+	if w.lanes != nil {
+		return w.runSharded(until)
+	}
+	return w.kernel.Run(until)
+}
 
 // RunUntilIdle drives the simulation until no events remain.
-func (w *World) RunUntilIdle() uint64 { return w.kernel.RunAll() }
+func (w *World) RunUntilIdle() uint64 {
+	if w.lanes != nil {
+		return w.runShardedAll()
+	}
+	return w.kernel.RunAll()
+}
 
 // MinSensorBatteryFraction returns the lowest remaining-battery fraction
 // among living sensors, 1 when none.
 func (w *World) MinSensorBatteryFraction() float64 {
 	min := 1.0
 	for _, d := range w.Devices() {
-		if d.kind == Sensor && d.alive {
-			min = math.Min(min, d.battery.FractionRemaining())
+		if d.kind == Sensor && w.soa.alive[d.h] {
+			min = math.Min(min, w.soa.batteries[d.h].FractionRemaining())
 		}
 	}
 	return min

@@ -52,8 +52,8 @@ func TestSensorSendReceive(t *testing.T) {
 	if len(a.got) != 0 {
 		t.Fatal("sender received own broadcast")
 	}
-	if da.SentPackets != 1 || da.SentBytes == 0 {
-		t.Fatalf("sender counters: %d pkts %d bytes", da.SentPackets, da.SentBytes)
+	if da.SentPackets() != 1 || da.SentBytes() == 0 {
+		t.Fatalf("sender counters: %d pkts %d bytes", da.SentPackets(), da.SentBytes())
 	}
 }
 

@@ -96,6 +96,9 @@ type Station struct {
 	// pending tracks receptions in flight, for the collision model;
 	// any two receptions whose airtimes overlap corrupt each other.
 	pending []*delivery
+	// lane is the owning region when the medium is sharded (sharded.go);
+	// always 0 otherwise. Immutable during parallel windows.
+	lane int32
 }
 
 // ID returns the station's node ID.
@@ -204,6 +207,12 @@ type Medium struct {
 	// It exists solely for the batched-vs-per-event A/B benchmark; handler
 	// invocation order is identical either way.
 	perEvent bool
+
+	// Sharded operation (sharded.go): one laneCtx per spatial region and
+	// the station-to-lane assignment rule. Nil in sequential mode, where
+	// none of the per-lane paths execute.
+	lanes  []*laneCtx
+	laneOf func(packet.NodeID, geom.Point) int32
 }
 
 // New creates a medium driven by kernel k.
@@ -259,8 +268,14 @@ func (m *Medium) putDelivery(d *delivery) {
 	m.freeDel = append(m.freeDel, d)
 }
 
-// Stats returns a snapshot of medium counters.
-func (m *Medium) Stats() Stats { return m.stats }
+// Stats returns a snapshot of medium counters. On a sharded medium the
+// per-lane counters are folded in, in lane order.
+func (m *Medium) Stats() Stats {
+	if m.lanes != nil {
+		return m.mergeLaneStats(m.stats)
+	}
+	return m.stats
+}
 
 // LossRate returns the medium-wide per-link loss probability.
 func (m *Medium) LossRate() float64 { return m.cfg.LossRate }
@@ -309,6 +324,9 @@ func (m *Medium) Attach(id packet.NodeID, pos geom.Point, rangeM float64, handle
 		panic(fmt.Sprintf("radio: station %v attached twice", id))
 	}
 	s := &Station{id: id, pos: pos, rangeM: rangeM, handler: handler, listening: true, medium: m}
+	if m.laneOf != nil {
+		s.lane = m.laneOf(id, pos)
+	}
 	m.stations[id] = s
 	m.grid.Insert(s, pos)
 	return s
@@ -389,6 +407,10 @@ func sortStations(ss []*Station) {
 // backoff (retried up to MaxBackoffs times before the packet is abandoned).
 func (m *Medium) Transmit(from *Station, pkt *packet.Packet) {
 	if from == nil {
+		return
+	}
+	if m.lanes != nil {
+		m.transmitSharded(from, pkt)
 		return
 	}
 	if m.cfg.CSMA {

@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"wmsn/internal/sim"
+)
+
+// shardSummary is the cross-engine comparable slice of a Result.
+type shardSummary struct {
+	generated, delivered, duplicates uint64
+	dataSent                         uint64
+	radioTx, radioDeliv              uint64
+	meanLatency                      sim.Duration
+	meanHops                         float64
+	sensorsAlive                     int
+	firstDeath                       sim.Time
+	energyTotal                      float64
+}
+
+func summarize(r Result) shardSummary {
+	return shardSummary{
+		generated:    r.Metrics.Generated,
+		delivered:    r.Metrics.Delivered,
+		duplicates:   r.Metrics.Duplicates,
+		dataSent:     r.Metrics.DataSent,
+		radioTx:      r.Radio.Transmissions,
+		radioDeliv:   r.Radio.Deliveries,
+		meanLatency:  r.Metrics.MeanLatency(),
+		meanHops:     r.Metrics.MeanHops(),
+		sensorsAlive: r.SensorsAlive,
+		firstDeath:   r.FirstDeath,
+		energyTotal:  r.Energy.Total,
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// The determinism contract of sharded execution (see DESIGN.md, "Sharded
+// execution"): the conservative window engine delivers exactly the frames
+// the sequential engine delivers, at the same simulated times — what can
+// differ is only the processing ORDER of receptions landing at the same
+// node in the same microsecond. With the jitter-free default parameters the
+// flood cascades are time-synchronized, so such ties are common, and
+// first-copy tie resolution picks different (equally valid) parents.
+//
+// The tests below pin both halves of the contract:
+//
+//   - End-to-end flow summary — generated, delivered, duplicates, survivors,
+//     first death — is EXACTLY equal for every protocol, every seed.
+//   - For traffic without simultaneous arrivals (Direct: no flood cascades,
+//     per-sensor random phases), the ENTIRE summary is exactly equal,
+//     including latency, radio counters and energy: the engine itself is
+//     bit-faithful; only tie resolution is free.
+//   - For flood protocols, the tie-sensitive path-shape metrics (mean
+//     latency/hops, radio counters, total energy) stay within a tight
+//     relative band.
+
+// TestShardedSummariesMatch compares Shards=1 against Shards=N across
+// protocols and three seeds.
+func TestShardedSummariesMatch(t *testing.T) {
+	const pathTol = 0.10 // tie-resolution band for flood-protocol path metrics
+	for _, proto := range []Protocol{Direct, SPR, MLR} {
+		for _, seed := range []int64{1, 2, 3} {
+			cfg := Config{Protocol: proto, Seed: seed, NumSensors: 120, RunFor: 60 * sim.Second}
+			seq := summarize(Run(cfg))
+			if seq.generated == 0 || seq.delivered == 0 {
+				t.Fatalf("%s seed %d: sequential run delivered nothing (generated=%d delivered=%d)",
+					proto, seed, seq.generated, seq.delivered)
+			}
+			for _, shards := range []int{2, 3} {
+				cfg.Shards = shards
+				got := summarize(Run(cfg))
+				if got.generated != seq.generated || got.delivered != seq.delivered ||
+					got.duplicates != seq.duplicates || got.sensorsAlive != seq.sensorsAlive ||
+					got.firstDeath != seq.firstDeath {
+					t.Errorf("%s seed %d shards %d: end-to-end flow summary diverged\nsequential: %+v\nsharded:    %+v",
+						proto, seed, shards, seq, got)
+					continue
+				}
+				if proto == Direct {
+					// No simultaneous arrivals -> full summary must be exact
+					// (energy to float tolerance: same draws, same per-node
+					// accumulation order).
+					if got.dataSent != seq.dataSent || got.radioTx != seq.radioTx ||
+						got.radioDeliv != seq.radioDeliv || got.meanLatency != seq.meanLatency ||
+						got.meanHops != seq.meanHops ||
+						relDiff(got.energyTotal, seq.energyTotal) > 1e-12 {
+						t.Errorf("direct seed %d shards %d: tie-free summary not exact\nsequential: %+v\nsharded:    %+v",
+							seed, shards, seq, got)
+					}
+					continue
+				}
+				if relDiff(float64(got.meanLatency), float64(seq.meanLatency)) > pathTol ||
+					relDiff(got.meanHops, seq.meanHops) > pathTol ||
+					relDiff(float64(got.radioTx), float64(seq.radioTx)) > pathTol ||
+					relDiff(float64(got.radioDeliv), float64(seq.radioDeliv)) > pathTol ||
+					relDiff(got.energyTotal, seq.energyTotal) > pathTol {
+					t.Errorf("%s seed %d shards %d: path metrics outside the tie-resolution band\nsequential: %+v\nsharded:    %+v",
+						proto, seed, shards, seq, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRunIsDeterministic checks that a sharded run — including one
+// with in-run randomness (radio loss draws on per-lane RNG streams) — is a
+// pure function of (seed, shards): running it twice gives identical
+// results.
+func TestShardedRunIsDeterministic(t *testing.T) {
+	for _, lossRate := range []float64{0, 0.1} {
+		cfg := Config{Protocol: SPR, Seed: 7, NumSensors: 120, LossRate: lossRate, Shards: 3, RunFor: 60 * sim.Second}
+		a := summarize(Run(cfg))
+		b := summarize(Run(cfg))
+		if a != b {
+			t.Fatalf("loss %v: same (seed, shards) run twice diverged:\nfirst:  %+v\nsecond: %+v", lossRate, a, b)
+		}
+		if a.generated == 0 {
+			t.Fatalf("loss %v: sharded run generated nothing", lossRate)
+		}
+	}
+}
+
+// TestShardedConfigRejections pins the Validate guard rails: every feature
+// that needs a global view or draws handler randomness must be refused, not
+// silently raced.
+func TestShardedConfigRejections(t *testing.T) {
+	base := Config{Shards: 2}
+	cases := map[string]func(*Config){
+		"csma":       func(c *Config) { c.CSMA = true },
+		"collisions": func(c *Config) { c.Collisions = true },
+		"gossiping":  func(c *Config) { c.Protocol = Gossiping },
+		"negative":   func(c *Config) { c.Shards = -1 },
+	}
+	for name, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an unshardable config %+v", name, cfg)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("plain Shards=2 SPR config rejected: %v", err)
+	}
+}
