@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover vet race bench bench-json bench-arq bench-hotpath bench-scale bench-guard scale-smoke scale-100k profile experiments experiments-quick faults soak fuzz examples clean
+.PHONY: all build test test-short cover vet race bench bench-json bench-arq bench-hotpath bench-scale bench-guard scale-smoke scale-100k profile experiments experiments-quick faults soak fuzz examples service clean
 
 all: build test
 
@@ -133,6 +133,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseRReqBlocks -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzParseNotifyPayloads -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzSecMLRGatewayInput -fuzztime=30s ./internal/core/
+
+# Simulation-as-a-service daemon: build the binary, then the endpoint,
+# cancellation and 64-client load tests under the race detector.
+service:
+	$(GO) build ./cmd/wmsnd
+	$(GO) test -race -v ./internal/service/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -63,8 +63,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(experiments.ScaleSweep(*scaleN, []int{1, 4, 16}, *shards, 901).String())
-		fmt.Println(experiments.ScaleTraffic(*scaleN, *shards, 901).String())
+		// One options struct carries the flag plumbing: -shards sizes both
+		// the hop-sweep worker pool and the traffic engine's region count,
+		// exactly as the separate parameters used to.
+		sopts := experiments.Opts{Quick: *quick, Seeds: *seeds, Workers: *shards, Shards: *shards}
+		fmt.Println(experiments.ScaleSweep(sopts, *scaleN, []int{1, 4, 16}, 901).String())
+		fmt.Println(experiments.ScaleTraffic(sopts, *scaleN, 901).String())
 		pprof.StopCPUProfile()
 		return
 	}

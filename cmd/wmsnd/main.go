@@ -1,0 +1,89 @@
+// Command wmsnd serves the wmsn simulator as a service: an HTTP/JSON API
+// that accepts validated scenario configs (single runs and seed sweeps),
+// schedules them on a bounded job queue with per-job limits, streams
+// per-run trace events, time-bucketed series, and metrics snapshots live
+// as JSONL, and sheds load with 429 + Retry-After when the queue is full.
+//
+//	wmsnd -addr :8080 -queue 64 -jobs 2
+//
+// Endpoints:
+//
+//	POST   /v1/runs              submit a job (?stream=1 to stream inline)
+//	GET    /v1/jobs/{id}         job status
+//	GET    /v1/jobs/{id}/stream  JSONL stream (?detach=1 to survive disconnect)
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/protocols         routing protocols this build can simulate
+//	GET    /healthz              liveness + queue gauges
+//	GET    /stats                lifecycle counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wmsn/internal/service"
+	"wmsn/internal/sim"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		queue      = flag.Int("queue", 64, "bounded job queue depth (submissions past it get 429)")
+		jobs       = flag.Int("jobs", 2, "jobs executed concurrently")
+		maxNodes   = flag.Int("max-nodes", 0, "per-run node cap (0 = default)")
+		maxHorizon = flag.Float64("max-horizon-s", 0, "per-run virtual-time cap in seconds (0 = default)")
+		maxRuns    = flag.Int("max-runs", 0, "per-job run-count cap (0 = default)")
+		maxDeadl   = flag.Float64("max-deadline-s", 0, "per-job wall-clock deadline cap in seconds (0 = default)")
+	)
+	flag.Parse()
+
+	limits := service.Limits{
+		MaxNodes:      *maxNodes,
+		MaxRunsPerJob: *maxRuns,
+	}
+	if *maxHorizon > 0 {
+		limits.MaxHorizon = sim.Duration(*maxHorizon * float64(sim.Second))
+	}
+	if *maxDeadl > 0 {
+		limits.MaxDeadline = time.Duration(*maxDeadl * float64(time.Second))
+	}
+	svc := service.New(service.Config{
+		QueueDepth: *queue,
+		Schedulers: *jobs,
+		Limits:     limits,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("wmsnd listening on %s (queue=%d jobs=%d)", *addr, *queue, *jobs)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	svc.Close() // cancel all jobs first so streams close promptly
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

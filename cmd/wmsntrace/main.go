@@ -7,8 +7,11 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -21,6 +24,8 @@ import (
 
 func main() {
 	pkt := flag.String("packet", "", "lifecycle of one packet, by origin:seq (e.g. 7:3 or n7:3)")
+	fromStream := flag.Bool("from-stream", false, "input is a wmsnd job stream (JSONL); extract the trace events")
+	run := flag.Int("run", 0, "with -from-stream: which run of the job to replay")
 	packets := flag.Bool("packets", false, "one-line lifecycle listing of every traced packet")
 	drops := flag.Bool("drops", false, "drop-reason breakdown")
 	reroutes := flag.Bool("reroutes", false, "reroute and fault timeline")
@@ -40,7 +45,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	events, err := obs.ReadJSONL(f)
+	var events []obs.Event
+	if *fromStream {
+		events, err = readStream(f, *run)
+	} else {
+		events, err = obs.ReadJSONL(f)
+	}
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -87,6 +97,40 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "wmsntrace: %v\n", err)
 	os.Exit(1)
+}
+
+// readStream extracts one run's obs events from a saved wmsnd job stream
+// (`curl .../stream > job.jsonl`). Stream lines wrap trace events in a typed
+// envelope; everything that is not a trace line of the requested run —
+// results, series, the terminal line — is skipped.
+func readStream(r io.Reader, run int) ([]obs.Event, error) {
+	type line struct {
+		Type string     `json:"type"`
+		Run  int        `json:"run"`
+		Ev   *obs.Event `json:"ev"`
+	}
+	var events []obs.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(b, &l); err != nil {
+			return nil, fmt.Errorf("stream line %d: %w", ln, err)
+		}
+		if l.Type == "trace" && l.Run == run && l.Ev != nil {
+			events = append(events, *l.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
 }
 
 // parseKey accepts "7:3" and "n7:3" (the form PacketKey.String prints).

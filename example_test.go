@@ -1,12 +1,77 @@
 package wmsn_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"wmsn"
 )
 
-// ExampleRun shows the one-call entry point: deploy, route, report, measure.
+// ExampleRunContext shows the primary entry point: deploy, route, report,
+// measure, with validation errors reported and context cancellation honored.
+func ExampleRunContext() {
+	res, err := wmsn.RunContext(context.Background(), wmsn.Config{
+		Seed:        1,
+		Protocol:    wmsn.SPR,
+		NumSensors:  50,
+		Side:        150,
+		SensorRange: 35,
+		NumGateways: 3,
+		RunFor:      60 * wmsn.Second,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivery %.0f%%\n", 100*res.Metrics.DeliveryRatio())
+	// Output: delivery 100%
+}
+
+// ExampleRunContext_deadline bounds a run's wall-clock budget: when the
+// deadline fires, the kernel stops within one event batch and the error
+// matches both ErrCanceled and the context's cause.
+func ExampleRunContext_deadline() {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := wmsn.RunContext(ctx, wmsn.Config{
+		Seed:        1,
+		Protocol:    wmsn.SPR,
+		NumSensors:  300,
+		Side:        300,
+		SensorRange: 40,
+		NumGateways: 3,
+		RunFor:      10 * wmsn.Hour, // far more virtual time than the budget allows
+	})
+	fmt.Println(errors.Is(err, wmsn.ErrCanceled), errors.Is(err, context.DeadlineExceeded))
+	// Output: true true
+}
+
+// ExampleRunEach streams a sweep: results arrive in submission order as
+// they complete, without waiting for the whole sweep.
+func ExampleRunEach() {
+	cfgs := make([]wmsn.Config, 3)
+	for i := range cfgs {
+		cfgs[i] = wmsn.Config{
+			Seed: int64(i), Protocol: wmsn.SPR,
+			NumSensors: 40, RunFor: 30 * wmsn.Second,
+		}
+	}
+	err := wmsn.RunEach(context.Background(), 2, cfgs, func(i int, r wmsn.Result, err error) {
+		fmt.Printf("run %d: delivery %.0f%%\n", i, 100*r.Metrics.DeliveryRatio())
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// run 0: delivery 100%
+	// run 1: delivery 100%
+	// run 2: delivery 100%
+}
+
+// ExampleRun shows the legacy one-call entry point: like RunContext, but
+// panicking on invalid configurations and without cancellation.
 func ExampleRun() {
 	res := wmsn.Run(wmsn.Config{
 		Seed:        1,

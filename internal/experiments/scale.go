@@ -33,7 +33,8 @@ func scaleSide(n int) float64 {
 // machine-dependent by design. The rows themselves are deterministic in
 // (n, seed) and independent of workers: grid placement ignores the RNG and
 // each evaluation builds its own graph.
-func ScaleSweep(n int, gateways []int, workers int, seed int64) *trace.Table {
+func ScaleSweep(o Opts, n int, gateways []int, seed int64) *trace.Table {
+	workers := o.Workers
 	side := scaleSide(n)
 	w := node.NewWorld(node.Config{Seed: seed})
 	sensors := (geom.Uniform{}).Deploy(n, geom.Square(side), w.Kernel().Rand())
@@ -93,7 +94,11 @@ func (countStack) HandleMessage(*packet.Packet) {}
 //
 // Broadcasts are staggered across a fixed 1024 µs span (index mod 1024) so
 // every window carries work for all lanes regardless of n.
-func ScaleTraffic(n, shards int, seed int64) *trace.Table {
+func ScaleTraffic(o Opts, n int, seed int64) *trace.Table {
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	side := scaleSide(n)
 	region := geom.Square(side)
 	w := node.NewWorld(node.Config{Seed: seed})

@@ -11,7 +11,7 @@ import "testing"
 func benchScaleSweep(b *testing.B, n int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ScaleSweep(n, []int{1, 4, 16}, 4, 901)
+		ScaleSweep(Opts{Workers: 4}, n, []int{1, 4, 16}, 901)
 	}
 }
 
@@ -21,7 +21,7 @@ func BenchmarkScaleSweep100k(b *testing.B) { benchScaleSweep(b, 100_000) }
 func benchScaleTraffic(b *testing.B, n, shards int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ScaleTraffic(n, shards, 901)
+		ScaleTraffic(Opts{Shards: shards}, n, 901)
 	}
 }
 

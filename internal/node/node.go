@@ -13,6 +13,7 @@ package node
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"wmsn/internal/energy"
 	"wmsn/internal/geom"
@@ -744,6 +745,20 @@ func (w *World) SensorEnergyStats() energy.Stats {
 		}
 	}
 	return energy.Summarize(bats)
+}
+
+// SetInterrupt installs an externally owned cancellation flag on every
+// kernel this world drives — the world kernel and, when sharded, each region
+// lane. The run loops poll it between event batches (sim.SetInterrupt) and
+// the sharded window loop additionally checks it at window barriers, so a
+// flag set from another goroutine (typically a context.AfterFunc) stops the
+// simulation within one batch. The world is left mid-run: callers that
+// cancel should discard its summary rather than report it.
+func (w *World) SetInterrupt(flag *atomic.Bool) {
+	w.kernel.SetInterrupt(flag)
+	for _, ln := range w.lanes {
+		ln.k.SetInterrupt(flag)
+	}
 }
 
 // Run drives the simulation until the given horizon. With sharding enabled

@@ -288,6 +288,12 @@ func (w *World) runSharded(until sim.Time) uint64 {
 	}()
 	var total uint64
 	for !g.Stopped() {
+		// Interrupted lanes break out of their window mid-batch with the
+		// global stop flag untouched; check here so the window loop itself
+		// terminates at the next barrier.
+		if g.InterruptRequested() {
+			break
+		}
 		gt, gok := g.NextAt()
 		var lt sim.Time
 		lok := false

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -103,6 +104,84 @@ func TestResolve(t *testing.T) {
 	if got := Resolve(5); got != 5 {
 		t.Fatalf("Resolve(5) = %d, want 5", got)
 	}
+}
+
+func TestMapEachDeliversInOrderExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		n := 25
+		var got []int
+		var errs int
+		MapEach(workers, n, func(i int) (int, error) {
+			// Reverse-staggered finish order stresses the reorder buffer.
+			time.Sleep(time.Duration(n-i) * time.Millisecond / 8)
+			if i%7 == 3 {
+				return 0, errTest
+			}
+			return i * 10, nil
+		}, func(i int, v int, err error) {
+			if err != nil {
+				errs++
+				if i%7 != 3 {
+					t.Fatalf("workers=%d: unexpected error at index %d", workers, i)
+				}
+				return
+			}
+			if v != i*10 {
+				t.Fatalf("workers=%d: index %d delivered %d, want %d", workers, i, v, i*10)
+			}
+			got = append(got, i)
+		})
+		want := 0
+		for _, i := range got {
+			for want%7 == 3 {
+				want++
+			}
+			if i != want {
+				t.Fatalf("workers=%d: delivery order %v breaks at %d", workers, got, i)
+			}
+			want++
+		}
+		if errs != 4 { // indices 3, 10, 17, 24
+			t.Fatalf("workers=%d: delivered %d errors, want 4", workers, errs)
+		}
+	}
+}
+
+var errTest = fmt.Errorf("synthetic job failure")
+
+func TestMapEachMatchesMap(t *testing.T) {
+	job := func(i int) []int64 {
+		rng := rand.New(rand.NewSource(int64(i)))
+		vals := make([]int64, 8)
+		for j := range vals {
+			vals[j] = rng.Int63()
+		}
+		return vals
+	}
+	want := Map(1, 16, job)
+	for _, workers := range []int{1, 8} {
+		i := 0
+		MapEach(workers, 16, func(j int) ([]int64, error) { return job(j), nil },
+			func(j int, v []int64, err error) {
+				if err != nil || j != i {
+					t.Fatalf("workers=%d: delivery (%d, %v) out of order at %d", workers, j, err, i)
+				}
+				for x := range v {
+					if v[x] != want[j][x] {
+						t.Fatalf("workers=%d: job %d value %d diverges from Map", workers, j, x)
+					}
+				}
+				i++
+			})
+		if i != 16 {
+			t.Fatalf("workers=%d: %d deliveries, want 16", workers, i)
+		}
+	}
+}
+
+func TestMapEachEmptyIsNoop(t *testing.T) {
+	MapEach(4, 0, func(i int) (int, error) { return i, nil },
+		func(int, int, error) { t.Fatal("deliver called for n=0") })
 }
 
 func TestMapReduceFoldsInSubmissionOrder(t *testing.T) {

@@ -6,6 +6,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,7 +22,6 @@ import (
 	"wmsn/internal/packet"
 	"wmsn/internal/protocol"
 	"wmsn/internal/radio"
-	"wmsn/internal/runner"
 	"wmsn/internal/sensing"
 	"wmsn/internal/sim"
 )
@@ -601,7 +601,9 @@ type Result struct {
 }
 
 // Run builds the network, drives traffic for cfg.RunFor, and summarizes.
-// It is the panicking wrapper over RunE.
+// It is the legacy panicking wrapper over RunE, kept for existing callers
+// and terse test code; new code should prefer RunE (validation errors) or
+// RunContext (validation errors plus cancellation and deadlines).
 func Run(cfg Config) Result {
 	res, err := RunE(cfg)
 	if err != nil {
@@ -611,7 +613,9 @@ func Run(cfg Config) Result {
 }
 
 // RunE builds the network, drives traffic for cfg.RunFor, and summarizes,
-// returning an error instead of panicking on an invalid configuration.
+// returning an error instead of panicking on an invalid configuration. It is
+// RunContext with a background context: no cancellation, identical code
+// path, identical results.
 //
 // Runs launched here draw their kernel/radio storage from a shared arena
 // pool: the world is private to this call and fully torn down before
@@ -619,25 +623,7 @@ func Run(cfg Config) Result {
 // the next run instead of being garbage. Callers composing Build/BuildE +
 // RunTraffic themselves keep plain GC-managed worlds.
 func RunE(cfg Config) (Result, error) {
-	if cfg.Shards > 1 {
-		// Sharded worlds schedule on per-lane kernels, so the shared arena's
-		// recycled event storage (sized for one kernel) is not used.
-		n, err := buildE(cfg, nil)
-		if err != nil {
-			return Result{}, err
-		}
-		return n.RunTraffic(), nil
-	}
-	ar := arenas.Get().(*runArena)
-	n, err := buildE(cfg, ar)
-	if err != nil {
-		arenas.Put(ar)
-		return Result{}, err
-	}
-	res := n.RunTraffic()
-	n.World.ReleasePools()
-	arenas.Put(ar)
-	return res, nil
+	return runContext(context.Background(), cfg)
 }
 
 // RunMany executes every config on a bounded worker pool and returns the
@@ -646,8 +632,17 @@ func RunE(cfg Config) (Result, error) {
 // calling Run in a loop regardless of workers (workers<=0 selects one per
 // CPU, 1 forces sequential execution). Configs with Mutate/StackWrapper
 // hooks are safe as long as the hooks touch only their own run's state.
+//
+// RunMany is the legacy buffering form: it panics on the first invalid
+// config and holds every Result until the whole sweep finishes. Callers that
+// need cancellation, per-run errors, or incremental delivery should use
+// RunManyContext or RunEach, which RunMany wraps.
 func RunMany(workers int, cfgs []Config) []Result {
-	return runner.Map(workers, len(cfgs), func(i int) Result { return Run(cfgs[i]) })
+	out, err := RunManyContext(context.Background(), workers, cfgs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
 }
 
 // RunTraffic starts traffic on an already-built network and runs to the

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"wmsn/internal/metrics"
+	"wmsn/internal/obs"
+	"wmsn/internal/sim"
+	"wmsn/internal/trace"
+)
+
+// Job states, in lifecycle order.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// StreamLine is one line of a job's JSONL stream. Exactly one of the
+// optional payload fields is set, discriminated by Type:
+//
+//	"job"     stream header: job ID, state, run count
+//	"trace"   one obs event of run Run (Ev set)
+//	"series"  run Run's time-bucketed series (Series set), emitted at run end
+//	"result"  run Run completed (Metrics and the summary fields set)
+//	"error"   run Run failed or was canceled (Error set)
+//	"notice"  service notice (Error carries the text, e.g. trace truncation)
+//	"done"    terminal line: final state and delivery counts
+//
+// cmd/wmsntrace -from-stream consumes this framing to replay a streamed
+// run's trace through the standard replay pipeline.
+type StreamLine struct {
+	Type  string `json:"type"`
+	Run   int    `json:"run,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	State string `json:"state,omitempty"`
+
+	ID   string `json:"id,omitempty"`
+	Runs int    `json:"runs,omitempty"`
+
+	Ev     *obs.Event       `json:"ev,omitempty"`
+	Series *trace.TableData `json:"series,omitempty"`
+
+	Metrics      *metrics.Snapshot `json:"metrics,omitempty"`
+	ElapsedS     float64           `json:"elapsed_s,omitempty"`
+	FirstDeathS  float64           `json:"first_death_s,omitempty"`
+	SensorsAlive int               `json:"sensors_alive,omitempty"`
+	SensorsTotal int               `json:"sensors_total,omitempty"`
+
+	Error string `json:"error,omitempty"`
+
+	Delivered int `json:"delivered,omitempty"`
+	Errors    int `json:"errors,omitempty"`
+}
+
+// seconds renders a virtual time as float seconds for the wire.
+func seconds(t sim.Time) float64 { return float64(t) / float64(sim.Second) }
+
+// Job is one accepted run request moving through the queue. Its stream
+// buffer retains every emitted line for the job's lifetime so late or
+// repeated streamers replay from the start and still see live tail growth.
+type Job struct {
+	id   string
+	opts jobOptions
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// finished flips exactly once, before the terminal stream line; the
+	// disconnect watcher reads it to avoid canceling an already-done job.
+	finished atomic.Bool
+
+	mu         sync.Mutex
+	state      string
+	lines      [][]byte
+	notify     chan struct{} // closed and replaced on every append
+	closed     bool          // terminal line written; no more appends
+	traceLines int           // trace lines buffered so far (for the cap)
+	truncated  bool
+	delivered  int // runs that produced a result
+	runErrors  int // runs that delivered an error
+}
+
+func newJob(id string, opts jobOptions, base context.Context) *Job {
+	ctx, cancel := context.WithCancelCause(base)
+	return &Job{
+		id:     id,
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		state:  StateQueued,
+		notify: make(chan struct{}),
+	}
+}
+
+// append marshals one stream line into the buffer and wakes every waiting
+// streamer. Appends after close are dropped (a canceled job's in-flight
+// trace emissions race its terminal line; losing them is correct).
+func (j *Job) append(l StreamLine) {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return // a StreamLine always marshals; defensive only
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.lines = append(j.lines, b)
+	ch := j.notify
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+	close(ch)
+}
+
+// appendTrace is append for high-volume trace lines: it enforces the
+// per-job cap, emitting a single truncation notice when crossed.
+func (j *Job) appendTrace(l StreamLine, maxLines int) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	if j.traceLines >= maxLines {
+		notify := !j.truncated
+		j.truncated = true
+		j.mu.Unlock()
+		if notify {
+			j.append(StreamLine{Type: "notice", Error: "trace truncated: per-job trace line limit reached"})
+		}
+		return
+	}
+	j.traceLines++
+	j.mu.Unlock()
+	j.append(l)
+}
+
+// setState transitions the job's reported state.
+func (j *Job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// finish writes the terminal line and closes the stream. Idempotent.
+func (j *Job) finish(state string) {
+	if !j.finished.CompareAndSwap(false, true) {
+		return
+	}
+	j.mu.Lock()
+	j.state = state
+	delivered, errs := j.delivered, j.runErrors
+	j.mu.Unlock()
+	j.append(StreamLine{Type: "done", ID: j.id, State: state,
+		Runs: len(j.opts.cfgs), Delivered: delivered, Errors: errs})
+	j.mu.Lock()
+	j.closed = true
+	ch := j.notify
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+	close(ch) // wake streamers one last time so they observe closed
+}
+
+// Status is the JSON body of GET /v1/jobs/{id}.
+type Status struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Runs      int    `json:"runs"`
+	Delivered int    `json:"delivered"`
+	Errors    int    `json:"errors,omitempty"`
+	Truncated bool   `json:"trace_truncated,omitempty"`
+}
+
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:        j.id,
+		State:     j.state,
+		Runs:      len(j.opts.cfgs),
+		Delivered: j.delivered,
+		Errors:    j.runErrors,
+		Truncated: j.truncated,
+	}
+}
+
+// wait blocks until the buffer holds more than cursor lines, the stream is
+// closed, or done fires. It returns the lines past cursor, whether the
+// stream is closed, and whether the wait was aborted by done.
+func (j *Job) wait(cursor int, done <-chan struct{}) (lines [][]byte, closed, aborted bool) {
+	for {
+		j.mu.Lock()
+		if len(j.lines) > cursor || j.closed {
+			lines = j.lines[cursor:]
+			closed = j.closed
+			j.mu.Unlock()
+			return lines, closed, false
+		}
+		ch := j.notify
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-done:
+			return nil, false, true
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoad64ConcurrentSubmissions is the service's acceptance load test:
+// 64 clients submit simultaneously against a deliberately tiny queue, retry
+// on 429, and every accepted job must finish with its result delivered
+// exactly once — zero lost, zero duplicated — while the queue bound actually
+// sheds and every /stats counter reconciles at the end.
+func TestLoad64ConcurrentSubmissions(t *testing.T) {
+	const clients = 64
+	svc := New(Config{QueueDepth: 2, Schedulers: 1})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Close()
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	// Phase 1 — prove the queue bound. With a depth-2 queue and one
+	// scheduler, four back-to-back long submissions cannot all be absorbed:
+	// at most one is running and two queued when the fourth arrives, so at
+	// least one must shed — deterministically, whatever the scheduling.
+	var preAccepted []string
+	preShed := 0
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(longBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var acc submitAccepted
+			if err := json.Unmarshal(b, &acc); err != nil {
+				t.Fatal(err)
+			}
+			preAccepted = append(preAccepted, acc.ID)
+		case http.StatusTooManyRequests:
+			preShed++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without a Retry-After header")
+			}
+		default:
+			t.Fatalf("phase 1 submission %d: status %d, body %s", i, resp.StatusCode, b)
+		}
+	}
+	if preShed == 0 {
+		t.Fatal("no submission was shed; the queue bound is not being enforced")
+	}
+	// Clear the long jobs out of the way before the burst.
+	for _, id := range preAccepted {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	for _, id := range preAccepted {
+		waitState(t, ts.URL, id, StateCanceled)
+	}
+
+	// Phase 2 — the burst. Each client's job is one distinctive seed, so
+	// results are attributable.
+	ids := make([]string, clients)
+	var retries64 int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"run":{"protocol":"spr","seed":%d,"num_sensors":40,"run_for_s":30}}`, 1000+c)
+			for attempt := 0; ; attempt++ {
+				resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var acc submitAccepted
+					if err := json.Unmarshal(b, &acc); err != nil {
+						t.Errorf("client %d: %v", c, err)
+						return
+					}
+					ids[c] = acc.ID
+					return
+				case http.StatusTooManyRequests:
+					mu.Lock()
+					retries64++
+					mu.Unlock()
+					if attempt > 2000 {
+						t.Errorf("client %d: still shed after %d attempts", c, attempt)
+						return
+					}
+					time.Sleep(5 * time.Millisecond)
+				default:
+					t.Errorf("client %d: status %d, body %s", c, resp.StatusCode, b)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every client got a distinct job ID.
+	seen := make(map[string]bool, clients)
+	for c, id := range ids {
+		if id == "" {
+			t.Fatalf("client %d never got a job ID", c)
+		}
+		if seen[id] {
+			t.Fatalf("job ID %s issued twice", id)
+		}
+		seen[id] = true
+	}
+
+	// Wait for the fleet to drain; each job delivers its one run exactly once.
+	for c, id := range ids {
+		st := waitState(t, ts.URL, id, StateDone, StateFailed, StateCanceled)
+		if st.State != StateDone {
+			t.Fatalf("client %d job %s ended %q", c, id, st.State)
+		}
+		if st.Runs != 1 || st.Delivered != 1 || st.Errors != 0 {
+			t.Fatalf("client %d job %s: %+v, want exactly one delivered result", c, id, st)
+		}
+	}
+
+	// The seed in each job's result must be the seed that client submitted —
+	// results were not crossed between jobs.
+	for c, id := range ids {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := 0
+		for _, l := range readStreamLines(t, resp.Body) {
+			if l.Type == "result" {
+				results++
+				if l.Seed != int64(1000+c) {
+					t.Fatalf("client %d job %s got seed %d's result", c, id, l.Seed)
+				}
+			}
+		}
+		resp.Body.Close()
+		if results != 1 {
+			t.Fatalf("client %d job %s stream has %d result lines, want 1", c, id, results)
+		}
+	}
+
+	// Every 429 any client saw is accounted as a shed, and nothing else is.
+	stats := svc.Stats()
+	if int64(stats.Shed) != int64(preShed)+retries64 {
+		t.Fatalf("service counted %d sheds, clients saw %d 429s", stats.Shed, int64(preShed)+retries64)
+	}
+
+	// Lifecycle counters reconcile exactly:
+	// submitted == completed + canceled + failed (+ queued + active == 0).
+	wantSubmitted := uint64(clients + len(preAccepted))
+	if stats.Submitted != wantSubmitted {
+		t.Fatalf("submitted = %d, want %d", stats.Submitted, wantSubmitted)
+	}
+	if stats.Completed != clients || stats.Failed != 0 || stats.Canceled != uint64(len(preAccepted)) {
+		t.Fatalf("lifecycle counters do not reconcile: %+v", stats)
+	}
+	if stats.Queued != 0 || stats.Active != 0 {
+		t.Fatalf("gauges nonzero after drain: %+v", stats)
+	}
+	// Every burst run delivered exactly once; the only failed runs are the
+	// phase-1 jobs canceled mid-run (one run each; a job canceled while
+	// still queued runs nothing at all).
+	if stats.RunsDelivered != clients {
+		t.Fatalf("runs_delivered = %d, want %d", stats.RunsDelivered, clients)
+	}
+	if stats.RunsFailed > uint64(len(preAccepted)) {
+		t.Fatalf("runs_failed = %d, want at most the %d canceled long jobs",
+			stats.RunsFailed, len(preAccepted))
+	}
+
+	// The burst must not leak goroutines once it drains. Idle keep-alive
+	// connections (client and server halves) are not leaks — drop them
+	// before counting.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before load, %d after", goroutinesBefore, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

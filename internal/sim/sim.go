@@ -20,6 +20,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Time is a virtual time instant in microseconds since simulation start.
@@ -102,7 +103,19 @@ type Kernel struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	// interrupt, when non-nil, is an externally owned cancellation flag
+	// polled between event batches (every interruptStride events) by
+	// Run/RunAll/RunBefore. It is the only concurrency-safe way to stop a
+	// running kernel from another goroutine: Stop flips an unsynchronized
+	// field and may only be called from inside an event callback.
+	interrupt *atomic.Bool
 }
+
+// interruptStride is how many events run between cancellation-flag polls.
+// One poll per batch keeps the cost of an armed-but-quiet interrupt flag
+// negligible while bounding cancellation latency to one event batch.
+const interruptStride = 4096
 
 // NewKernel returns a kernel with its clock at zero and a random source
 // seeded with seed.
@@ -325,6 +338,22 @@ func (r *Repeater) Stop() {
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// SetInterrupt installs (or, with nil, removes) a cancellation flag. The
+// run loops poll it at entry and then every interruptStride executed events;
+// when it reads true they stop exactly as if Stop had been called. The flag
+// may be set from any goroutine (typically a context.AfterFunc), which is
+// what threads context cancellation into an otherwise single-goroutine
+// simulation. A nil or never-set flag leaves the hot loop's behaviour — and
+// its allocation profile — unchanged.
+func (k *Kernel) SetInterrupt(flag *atomic.Bool) { k.interrupt = flag }
+
+// InterruptRequested reports whether an installed interrupt flag is set.
+// Coordinating loops that drive the kernel through Step/RunBefore directly
+// (the sharded window loop) check it between batches.
+func (k *Kernel) InterruptRequested() bool {
+	return k.interrupt != nil && k.interrupt.Load()
+}
+
 // Stopped reports whether Stop has been called since the last Run/RunAll
 // began. The radio medium checks it between batched deliveries so a Stop
 // issued mid-batch (a reception killing the node that stops the run) halts
@@ -358,7 +387,18 @@ func (k *Kernel) Step() bool {
 func (k *Kernel) Run(until Time) uint64 {
 	k.stopped = false
 	start := k.fired
+	check := 0
 	for !k.stopped {
+		if k.interrupt != nil {
+			if check == 0 {
+				if k.interrupt.Load() {
+					k.stopped = true
+					break
+				}
+				check = interruptStride
+			}
+			check--
+		}
 		if len(k.queue) == 0 {
 			break
 		}
@@ -375,7 +415,21 @@ func (k *Kernel) Run(until Time) uint64 {
 func (k *Kernel) RunAll() uint64 {
 	k.stopped = false
 	start := k.fired
-	for !k.stopped && k.Step() {
+	check := 0
+	for !k.stopped {
+		if k.interrupt != nil {
+			if check == 0 {
+				if k.interrupt.Load() {
+					k.stopped = true
+					break
+				}
+				check = interruptStride
+			}
+			check--
+		}
+		if !k.Step() {
+			break
+		}
 	}
 	return k.fired - start
 }

@@ -28,7 +28,18 @@ func (k *Kernel) NextAt() (Time, bool) {
 func (k *Kernel) RunBefore(horizon Time) uint64 {
 	k.stopped = false
 	start := k.fired
+	check := 0
 	for !k.stopped {
+		if k.interrupt != nil {
+			if check == 0 {
+				if k.interrupt.Load() {
+					k.stopped = true
+					break
+				}
+				check = interruptStride
+			}
+			check--
+		}
 		if len(k.queue) == 0 || k.queue[0].at >= horizon {
 			break
 		}

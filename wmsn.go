@@ -24,16 +24,26 @@
 //
 // Quick start:
 //
-//	res := wmsn.Run(wmsn.Config{
+//	res, err := wmsn.RunContext(ctx, wmsn.Config{
 //	    Seed: 1, Protocol: wmsn.SPR,
 //	    NumSensors: 100, Side: 200, SensorRange: 35, NumGateways: 3,
 //	})
+//	if err != nil { ... } // errors.Is(err, wmsn.ErrCanceled) on cancellation
 //	fmt.Println(res.Metrics.DeliveryRatio())
+//
+// RunContext, RunManyContext and RunEach are the primary run API: they
+// validate the configuration, honor context cancellation and deadlines
+// (a canceled run stops the kernel within one event batch), and — for
+// sweeps — deliver bit-identical results in submission order at any worker
+// count. Run, RunE and RunMany are the legacy forms kept for existing
+// callers. For running simulations as a network service, see cmd/wmsnd.
 //
 // See examples/ for richer scenarios and DESIGN.md for the system map.
 package wmsn
 
 import (
+	"context"
+
 	"wmsn/internal/attack"
 	"wmsn/internal/baseline"
 	"wmsn/internal/core"
@@ -218,27 +228,65 @@ const (
 	CauseInjected = node.CauseInjected
 )
 
-// Run builds the network described by cfg, drives its reporting workload to
-// the horizon, and returns the aggregated result. It panics on an invalid
-// configuration; use RunE to get the validation error instead.
+// ErrCanceled marks a run stopped by context cancellation or deadline.
+// Errors from RunContext, RunManyContext and RunEach match it with
+// errors.Is; the context's own cause (context.Canceled,
+// context.DeadlineExceeded, or a custom cancel cause) stays in the chain.
+var ErrCanceled = scenario.ErrCanceled
+
+// RunContext builds the network described by cfg, drives its reporting
+// workload to the horizon, and returns the aggregated result. The
+// configuration is validated first (see Config.Validate) and every
+// misconfiguration — negative counts, loss rates outside [0,1),
+// schedule/gateway mismatches, fault times past the horizon — comes back as
+// one joined, actionable error.
+//
+// Cancellation and deadlines on ctx reach into the event kernel: a canceled
+// run stops within one event batch (a few thousand events, microseconds of
+// work) and returns an error matching ErrCanceled. A background or
+// never-canceled context adds no overhead and changes no results.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	return scenario.RunContext(ctx, cfg)
+}
+
+// RunManyContext runs independent scenarios on a bounded worker pool and
+// returns their results in input order, canceling the remaining runs when
+// ctx fires. workers <= 0 uses one worker per CPU; workers == 1 runs
+// sequentially. Results are bit-identical regardless of worker count: every
+// run owns its kernel and RNG, and results are merged by submission index.
+func RunManyContext(ctx context.Context, workers int, cfgs []Config) ([]Result, error) {
+	return scenario.RunManyContext(ctx, workers, cfgs)
+}
+
+// RunEach is the streaming form of RunManyContext: fn receives each result
+// as soon as it and all earlier runs finish — exactly once per index, in
+// ascending submission order, on the calling goroutine — so a sweep's early
+// results are consumable while later runs still execute. The delivered
+// results are byte-identical to what RunManyContext returns. The first
+// error seen (validation or cancellation) is also the return value.
+func RunEach(ctx context.Context, workers int, cfgs []Config, fn func(i int, r Result, err error)) error {
+	return scenario.RunEach(ctx, workers, cfgs, fn)
+}
+
+// Run is the legacy panicking form of RunContext: no cancellation, and an
+// invalid configuration panics. Kept for existing callers and quick
+// experiments; new code should prefer RunContext.
 func Run(cfg Config) Result { return scenario.Run(cfg) }
 
-// RunE is Run with error reporting: the configuration is validated first
-// (see Config.Validate) and every misconfiguration — negative counts, loss
-// rates outside [0,1), schedule/gateway mismatches, fault times past the
-// horizon — comes back as one joined, actionable error.
+// RunE is the legacy non-cancellable form of RunContext, equivalent to
+// RunContext(context.Background(), cfg).
 func RunE(cfg Config) (Result, error) { return scenario.RunE(cfg) }
 
-// RunMany runs independent scenarios on a bounded worker pool and returns
-// their results in input order. workers <= 0 uses one worker per CPU;
-// workers == 1 runs sequentially. Results are bit-identical regardless of
-// worker count: every run owns its kernel and RNG, and results are merged by
-// submission index.
+// RunMany is the legacy form of RunManyContext: no cancellation, and any
+// validation error panics. New code should prefer RunManyContext or RunEach.
 func RunMany(workers int, cfgs []Config) []Result { return scenario.RunMany(workers, cfgs) }
 
 // Build constructs the network for cfg without starting traffic, for callers
 // that want to inject attackers or custom workloads first. It panics on an
-// invalid configuration; use BuildE for the error-returning form.
+// invalid configuration; use BuildE for the error-returning form. Like Run,
+// it is a legacy entry point: a hand-driven Net bypasses the cancellation
+// machinery of RunContext, so prefer expressing the scenario declaratively
+// when the hooks below suffice.
 //
 // Scheduled failures are better expressed declaratively via Config.Faults,
 // which keeps runs reproducible under RunMany and yields a Reliability
