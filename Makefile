@@ -114,15 +114,18 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/wmsnbench -quick
 
-# Fault-injection subsystem under the race detector: the fault package,
-# the scenario-level failover/determinism tests, and the mesh re-heal tests.
+# Fault-injection subsystem under the race detector: the fault package
+# (including compromise campaigns), the adversary stacks, the
+# scenario-level failover/determinism tests, and the mesh re-heal tests.
 faults:
 	$(GO) test -race ./internal/fault/
-	$(GO) test -race -run 'Fault|Churn|FailsOver|Validate|RunE' ./internal/scenario/
+	$(GO) test -race ./internal/attack/
+	$(GO) test -race -run 'Fault|Churn|FailsOver|Validate|RunE|Compromised' ./internal/scenario/
 	$(GO) test -race -run 'ReHeals|Resume' ./internal/mesh/
 
 # Seeded chaos/soak harness under the race detector: randomized fault
-# plans on lossy media with link ARQ armed, structural invariants
+# plans on lossy media with link ARQ armed, plus attack-randomized
+# compromise campaigns (TestSoakAttacks*), structural invariants
 # (conservation ledger, queue drain, timer hygiene) checked per trial.
 soak:
 	$(GO) test -race -v -run 'Soak|InvariantViolation' ./internal/chaos/ -soak.trials=16

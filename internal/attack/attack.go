@@ -10,8 +10,12 @@
 package attack
 
 import (
+	"math/rand"
+
 	"wmsn/internal/core"
+	"wmsn/internal/metrics"
 	"wmsn/internal/node"
+	"wmsn/internal/obs"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -24,15 +28,82 @@ type Counters struct {
 	Dropped  uint64 // packets the attacker swallowed instead of forwarding
 }
 
+// NodeRand returns the deterministic private RNG for an attacker bound to
+// the given node: a stream seeded from the scenario seed and the node ID
+// only. Attackers must never draw from the world kernel's RNG — under
+// Config.Shards that RNG is per-lane, so one attacker's draw would perturb
+// every other consumer on its lane and the campaign would depend on the
+// shard count.
+func NodeRand(seed int64, id packet.NodeID) *rand.Rand {
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio multiplier, two's complement
+	return rand.New(rand.NewSource(seed ^ int64(id)*mix))
+}
+
+// noteDrop counts one swallowed packet: the attacker's own Counters always
+// move; when the attacker was installed by the fault injector, the run's
+// metrics sink (AttackerDropped) and obs bus (AttackDrop) move with them.
+func noteDrop(dev *node.Device, sink metrics.Sink, c *Counters, p *packet.Packet, kind string) {
+	c.Dropped++
+	if sink != nil {
+		sink.Inc(metrics.AttackerDropped)
+	}
+	if dev == nil {
+		return
+	}
+	if b := dev.World().Obs(); b.Active() {
+		b.Emit(obs.Event{At: dev.Now(), Kind: obs.AttackDrop, Node: dev.ID(),
+			Origin: p.Origin, Seq: p.Seq, Detail: kind})
+	}
+}
+
+// noteInject counts one packet the attacker put on the air, mirroring into
+// the metrics sink (AttackerInjected) and obs bus (AttackInject) when set.
+func noteInject(dev *node.Device, sink metrics.Sink, c *Counters, p *packet.Packet, kind string) {
+	c.Injected++
+	if sink != nil {
+		sink.Inc(metrics.AttackerInjected)
+	}
+	if dev == nil {
+		return
+	}
+	if b := dev.World().Obs(); b.Active() {
+		b.Emit(obs.Event{At: dev.Now(), Kind: obs.AttackInject, Node: dev.ID(),
+			Origin: p.Origin, Seq: p.Seq, Detail: kind})
+	}
+}
+
+// passInner hands p to the wrapped legitimate stack, filtering out frames
+// the stack would never have seen without the attacker's promiscuous radio:
+// a compromised insider keeps routing exactly as before, it just also
+// eavesdrops.
+func passInner(dev *node.Device, inner node.Stack, p *packet.Packet) {
+	if inner == nil {
+		return
+	}
+	if p.To != dev.ID() && p.To != packet.Broadcast {
+		return // overheard promiscuously; not the inner stack's traffic
+	}
+	inner.HandleMessage(p)
+}
+
 // SelectiveForwarder is the insider grayhole: it participates in routing
 // normally (via the wrapped legitimate stack) but silently drops a fraction
 // of the DATA packets it should forward. DropProb 1.0 is the blackhole.
 type SelectiveForwarder struct {
 	Inner    node.Stack
 	DropProb float64
+	// Rng, when set, is the attacker's private drop-decision stream
+	// (NodeRand). Nil falls back to the world kernel's RNG, which is only
+	// safe in unsharded runs; the fault injector always sets it.
+	Rng *rand.Rand
+	// Metrics, when set, mirrors drops into the run sink (AttackerDropped).
+	Metrics  metrics.Sink
 	Counters Counters
 
 	dev *node.Device
+	// kindLabel overrides the "selective-forward" drop label so a blackhole
+	// campaign (DropProb 1) reports under its own attack kind.
+	kindLabel string
 }
 
 // Start implements node.Stack.
@@ -47,12 +118,23 @@ func (a *SelectiveForwarder) HandleMessage(p *packet.Packet) {
 		return // not attached to a device yet
 	}
 	if p.Kind == packet.KindData && p.Origin != a.dev.ID() {
-		if a.DropProb >= 1 || a.dev.World().Kernel().Rand().Float64() < a.DropProb {
-			a.Counters.Dropped++
+		if a.DropProb >= 1 || a.rand().Float64() < a.DropProb {
+			label := a.kindLabel
+			if label == "" {
+				label = "selective-forward"
+			}
+			noteDrop(a.dev, a.Metrics, &a.Counters, p, label)
 			return
 		}
 	}
 	a.Inner.HandleMessage(p)
+}
+
+func (a *SelectiveForwarder) rand() *rand.Rand {
+	if a.Rng != nil {
+		return a.Rng
+	}
+	return a.dev.World().Kernel().Rand()
 }
 
 // Replayer captures packets of the configured kinds promiscuously and
@@ -60,17 +142,41 @@ func (a *SelectiveForwarder) HandleMessage(p *packet.Packet) {
 // data is re-delivered (and double-counted upstream); against SecMLR the
 // gateway's counters reject it.
 type Replayer struct {
-	Kinds     map[packet.Kind]bool
-	Delay     sim.Duration
+	Kinds map[packet.Kind]bool
+	Delay sim.Duration
+	// Jitter spreads each replay by an extra uniform [0, Jitter) draw from
+	// the attacker's private Rng, de-synchronizing fraction-wide campaigns;
+	// 0 replays at exactly Delay and draws nothing.
+	Jitter sim.Duration
+	// MaxCopies caps total injections; <= 0 selects DefaultReplayMaxCopies.
 	MaxCopies int
-	Counters  Counters
+	// Inner, when set, keeps the victim's legitimate stack running under
+	// the replayer (insider compromise); nil is the stand-alone
+	// eavesdropper node of experiment E9.
+	Inner node.Stack
+	// Rng is the private jitter stream (NodeRand); nil falls back to the
+	// world kernel's RNG, which is only safe in unsharded runs.
+	Rng *rand.Rand
+	// Metrics, when set, mirrors injections into the run sink.
+	Metrics  metrics.Sink
+	Counters Counters
 
 	dev *node.Device
+	// scheduled counts replays armed (not yet necessarily sent); the
+	// MaxCopies cap gates on it so a burst of captures inside one Delay
+	// window cannot overshoot the budget before the first send lands.
+	scheduled int
 }
+
+// DefaultReplayMaxCopies is the injection cap a Replayer falls back to when
+// MaxCopies is unset: large enough to be unbounded for any realistic run,
+// small enough that a misconfigured campaign cannot overflow the Injected
+// counter comparison.
+const DefaultReplayMaxCopies = 1 << 20
 
 // NewReplayer builds a replayer for the given kinds (default: DATA only).
 func NewReplayer(delay sim.Duration, kinds ...packet.Kind) *Replayer {
-	r := &Replayer{Kinds: make(map[packet.Kind]bool), Delay: delay, MaxCopies: 1 << 30}
+	r := &Replayer{Kinds: make(map[packet.Kind]bool), Delay: delay, MaxCopies: DefaultReplayMaxCopies}
 	if len(kinds) == 0 {
 		kinds = []packet.Kind{packet.KindData}
 	}
@@ -93,23 +199,45 @@ func (a *Replayer) HandleMessage(p *packet.Packet) {
 		return // not attached to a device yet
 	}
 	if !a.Kinds[p.Kind] || p.From == a.dev.ID() {
+		passInner(a.dev, a.Inner, p)
 		return
 	}
 	a.Counters.Captured++
-	if a.Counters.Injected >= uint64(a.MaxCopies) {
+	if a.scheduled >= a.maxCopies() {
+		passInner(a.dev, a.Inner, p)
 		return
 	}
+	a.scheduled++
 	cp := p.Clone()
-	a.dev.After(a.Delay, func() {
+	delay := a.Delay
+	if a.Jitter > 0 {
+		delay += sim.Duration(a.rand().Int63n(int64(a.Jitter)))
+	}
+	a.dev.After(delay, func() {
 		if !a.dev.Alive() {
 			return
 		}
 		rep := cp.Clone()
 		rep.From = a.dev.ID() // link-layer sender is the attacker's radio
 		if a.dev.Send(rep) {
-			a.Counters.Injected++
+			noteInject(a.dev, a.Metrics, &a.Counters, rep, "replay")
 		}
 	})
+	passInner(a.dev, a.Inner, p)
+}
+
+func (a *Replayer) maxCopies() int {
+	if a.MaxCopies > 0 {
+		return a.MaxCopies
+	}
+	return DefaultReplayMaxCopies
+}
+
+func (a *Replayer) rand() *rand.Rand {
+	if a.Rng != nil {
+		return a.Rng
+	}
+	return a.dev.World().Kernel().Rand()
 }
 
 // Sinkhole advertises irresistibly short routes and swallows the attracted
@@ -121,8 +249,14 @@ type Sinkhole struct {
 	// FakeGateway is the gateway identity whose proximity is claimed.
 	FakeGateway packet.NodeID
 	// Place is the feasible-place index advertised.
-	Place    int
-	TTL      uint8
+	Place int
+	TTL   uint8
+	// Inner, when set, keeps the victim's legitimate stack running for
+	// non-DATA traffic (insider compromise); lured DATA never reaches it.
+	Inner node.Stack
+	// Metrics, when set, mirrors forged responses and swallowed packets
+	// into the run sink.
+	Metrics  metrics.Sink
 	Counters Counters
 
 	dev *node.Device
@@ -157,11 +291,18 @@ func (a *Sinkhole) HandleMessage(p *packet.Packet) {
 			Payload: core.EncodePlacePayload(a.Place, nil),
 		}
 		if a.dev.Send(res) {
-			a.Counters.Injected++
+			noteInject(a.dev, a.Metrics, &a.Counters, res, "sinkhole")
 		}
+		passInner(a.dev, a.Inner, p)
 	case packet.KindData:
-		// Attracted traffic disappears.
-		a.Counters.Dropped++
+		// Attracted traffic disappears. Only packets addressed to the
+		// attacker count as swallowed — promiscuously overheard copies of
+		// other links' frames were never the sinkhole's to lose.
+		if p.To == a.dev.ID() {
+			noteDrop(a.dev, a.Metrics, &a.Counters, p, "sinkhole")
+		}
+	default:
+		passInner(a.dev, a.Inner, p)
 	}
 }
 
@@ -177,10 +318,16 @@ type HelloFlood struct {
 	Place int
 	// PrevPlace is the place falsely vacated (core.NoPlace for none).
 	PrevPlace int
-	// Range is the boosted transmission radius.
+	// Range is the boosted transmission radius; <= 0 uses the node's own
+	// radio range (the insider variant the fault injector installs).
 	Range    float64
 	Interval sim.Duration
 	TTL      uint8
+	// Inner, when set, keeps the victim's legitimate stack handling traffic
+	// while the flood runs on top (insider compromise).
+	Inner node.Stack
+	// Metrics, when set, mirrors forged broadcasts into the run sink.
+	Metrics  metrics.Sink
 	Counters Counters
 
 	dev *node.Device
@@ -192,7 +339,7 @@ type HelloFlood struct {
 func (a *HelloFlood) Start(dev *node.Device) {
 	a.dev = dev
 	a.flood()
-	a.rep = dev.World().Kernel().Every(a.Interval, a.flood)
+	a.rep = dev.Every(a.Interval, a.flood)
 }
 
 // Stop halts the flood.
@@ -217,13 +364,21 @@ func (a *HelloFlood) flood() {
 		TTL:     a.TTL,
 		Payload: core.EncodeNotifyPayload(a.Place, a.PrevPlace, 9999),
 	}
-	if a.dev.SendRange(pkt, a.Range) {
-		a.Counters.Injected++
+	sent := false
+	if a.Range > 0 {
+		sent = a.dev.SendRange(pkt, a.Range)
+	} else {
+		sent = a.dev.Send(pkt)
+	}
+	if sent {
+		noteInject(a.dev, a.Metrics, &a.Counters, pkt, "spoofed-routing")
 	}
 }
 
 // HandleMessage implements node.Stack.
-func (a *HelloFlood) HandleMessage(*packet.Packet) {}
+func (a *HelloFlood) HandleMessage(p *packet.Packet) {
+	passInner(a.dev, a.Inner, p)
+}
 
 // Sybil originates data under many forged identities. A plain-MLR gateway
 // accepts the pollution as real sensor readings; a SecMLR gateway rejects
@@ -246,7 +401,7 @@ type Sybil struct {
 // Start implements node.Stack and begins injecting.
 func (a *Sybil) Start(dev *node.Device) {
 	a.dev = dev
-	a.rep = dev.World().Kernel().Every(a.Interval, a.inject)
+	a.rep = dev.Every(a.Interval, a.inject)
 }
 
 // Stop halts injection.

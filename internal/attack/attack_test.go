@@ -322,3 +322,90 @@ func TestSelectiveForwarderDropProbability(t *testing.T) {
 		t.Fatal("own packet dropped")
 	}
 }
+
+// TestNodeRandDeterministicPerNode pins the attacker RNG contract: the
+// stream is a pure function of (scenario seed, node ID), identical across
+// calls and distinct across nodes — never the kernel's per-lane RNG.
+func TestNodeRandDeterministicPerNode(t *testing.T) {
+	draw := func(seed int64, id packet.NodeID) [4]float64 {
+		r := NodeRand(seed, id)
+		var out [4]float64
+		for i := range out {
+			out[i] = r.Float64()
+		}
+		return out
+	}
+	if draw(7, 3) != draw(7, 3) {
+		t.Fatal("same (seed, node) produced different streams")
+	}
+	if draw(7, 3) == draw(7, 4) {
+		t.Fatal("adjacent nodes share an RNG stream")
+	}
+	if draw(7, 3) == draw(8, 3) {
+		t.Fatal("different scenario seeds share an RNG stream")
+	}
+}
+
+// TestSpecValidateAndNames covers the declarative campaign surface: every
+// kind has a stable name, round-trips through ParseKind, and bad knobs are
+// rejected.
+func TestSpecValidateAndNames(t *testing.T) {
+	for _, name := range KindNames() {
+		k, ok := ParseKind(name)
+		if !ok || k.String() != name {
+			t.Fatalf("kind %q does not round-trip (parsed %v ok=%v)", name, k, ok)
+		}
+	}
+	if _, ok := ParseKind("quantum-teleport"); ok {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+	valid := Spec{Kind: KindReplay, Delay: sim.Second, MaxCopies: 10}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for _, bad := range []Spec{
+		{Kind: 200},
+		{Kind: KindSelectiveForward, DropProb: -0.5},
+		{Kind: KindReplay, Jitter: -sim.Second},
+		{Kind: KindSpoofedRouting, Interval: -sim.Second},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("bad spec %+v validated", bad)
+		}
+	}
+}
+
+// TestSpecInstantiateBindsWithoutStart verifies the compromise path: the
+// materialized adversary is bound to the device, wraps the inner stack, and
+// the victim's radio is promiscuous exactly for the kinds that eavesdrop.
+func TestSpecInstantiateBindsWithoutStart(t *testing.T) {
+	cases := []struct {
+		spec    Spec
+		promisc bool
+	}{
+		{Spec{Kind: KindSelectiveForward}, false},
+		{Spec{Kind: KindBlackhole}, false},
+		{Spec{Kind: KindReplay}, true},
+		{Spec{Kind: KindSinkhole, FakeGateway: 1000}, true},
+		{Spec{Kind: KindSpoofedRouting, FakeGateway: 1000}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec.String(), func(t *testing.T) {
+			w := node.NewWorld(node.Config{Seed: 1})
+			inner := &core.MLRSensor{}
+			w.AddSensor(1, geom.Point{}, 35, 0, inner)
+			d := w.Device(1)
+			st := tc.spec.Instantiate(d, d.Stack(), NodeRand(1, 1), nil)
+			if st == d.Stack() {
+				t.Fatal("Instantiate returned the inner stack unchanged")
+			}
+			d.SwapStack(st)
+			if d.Promiscuous() != tc.promisc {
+				t.Fatalf("promiscuous = %v, want %v", d.Promiscuous(), tc.promisc)
+			}
+			// The adversary must be live without Start: feeding it a frame
+			// must not panic on a nil device binding.
+			st.HandleMessage(&packet.Packet{Kind: packet.KindData, To: 1, Origin: 2, From: 2, Seq: 1, TTL: 4})
+		})
+	}
+}

@@ -1,0 +1,238 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wmsn/internal/core"
+	"wmsn/internal/metrics"
+	"wmsn/internal/node"
+	"wmsn/internal/packet"
+	"wmsn/internal/sim"
+)
+
+// Kind names an adversary family the fault injector can install on a
+// compromised node. Each kind maps to one of the stacks in this package,
+// configured as an insider: the victim's legitimate stack keeps running
+// underneath (where that makes sense) while the adversary misbehaves on top.
+type Kind uint8
+
+const (
+	// KindSelectiveForward is the grayhole: forwarded DATA is dropped with
+	// Spec.DropProb while routing participation continues normally.
+	KindSelectiveForward Kind = iota
+	// KindBlackhole is the degenerate grayhole with DropProb forced to 1.
+	KindBlackhole
+	// KindReplay re-injects every captured DATA packet after Spec.Delay
+	// (plus uniform jitter), double-spending traffic against plain MLR.
+	KindReplay
+	// KindSinkhole answers overheard RREQs with forged one-hop RRES claims
+	// and swallows the traffic it attracts.
+	KindSinkhole
+	// KindSpoofedRouting periodically floods forged gateway NOTIFYs from the
+	// compromised node's own radio, poisoning plain-MLR place tables.
+	KindSpoofedRouting
+	numAttackKinds
+)
+
+var attackKindNames = [numAttackKinds]string{
+	KindSelectiveForward: "selective-forward",
+	KindBlackhole:        "blackhole",
+	KindReplay:           "replay",
+	KindSinkhole:         "sinkhole",
+	KindSpoofedRouting:   "spoofed-routing",
+}
+
+// String returns the stable kebab-case name used in plan labels, obs event
+// details and experiment tables.
+func (k Kind) String() string {
+	if k < numAttackKinds {
+		return attackKindNames[k]
+	}
+	return fmt.Sprintf("attack(%d)", uint8(k))
+}
+
+// ParseKind resolves an attack kind name back to its value.
+func ParseKind(name string) (Kind, bool) {
+	for k, n := range attackKindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// KindNames lists every attack kind name in declaration order.
+func KindNames() []string {
+	out := make([]string, numAttackKinds)
+	copy(out, attackKindNames[:])
+	return out
+}
+
+// DefaultCampaignReplayCopies is the per-attacker injection cap a replay
+// campaign (Spec.MaxCopies <= 0) falls back to. Deliberately much tighter
+// than DefaultReplayMaxCopies: a fraction-wide campaign can compromise
+// replayers within radio range of each other, and mutual re-capture of
+// injections amplifies exponentially under a loose cap.
+const DefaultCampaignReplayCopies = 1000
+
+// Spec is the declarative description of one adversary the fault injector
+// materializes per compromised node. The zero value of every knob selects a
+// sensible default, so `Spec{Kind: KindBlackhole}` is a complete campaign.
+type Spec struct {
+	Kind Kind
+
+	// DropProb is the grayhole drop probability; 0 selects 0.5. Ignored
+	// (forced to 1) for KindBlackhole.
+	DropProb float64
+
+	// Delay is the replay hold-back; 0 selects 2 s.
+	Delay sim.Duration
+	// Jitter spreads each replay by a uniform [0, Jitter) extra delay; 0
+	// selects 500 ms. Pure determinism per node is kept either way — the
+	// draw comes from the attacker's private NodeRand stream.
+	Jitter sim.Duration
+	// MaxCopies caps replay injections per attacker; <= 0 selects
+	// DefaultCampaignReplayCopies. Campaign replayers need a real bound:
+	// two compromised replayers in radio range re-capture each other's
+	// injections, and an effectively unbounded cap turns that echo into
+	// exponential amplification.
+	MaxCopies int
+
+	// FakeGateway is the gateway identity forged by sinkhole and
+	// spoofed-routing campaigns.
+	FakeGateway packet.NodeID
+	// Place is the feasible-place index forged alongside FakeGateway.
+	Place int
+	// TTL stamps forged packets; 0 selects 16.
+	TTL uint8
+	// Interval paces spoofed-routing floods; 0 selects 5 s.
+	Interval sim.Duration
+}
+
+// String renders the campaign as its kind name.
+func (s Spec) String() string { return s.Kind.String() }
+
+// Validate rejects out-of-range knobs. Called from fault.Plan.Validate so a
+// bad campaign fails at scenario build time, not mid-run.
+func (s *Spec) Validate() error {
+	if s.Kind >= numAttackKinds {
+		return fmt.Errorf("attack: unknown kind %d", uint8(s.Kind))
+	}
+	if s.DropProb < 0 || s.DropProb > 1 {
+		return fmt.Errorf("attack: DropProb %v outside [0,1]", s.DropProb)
+	}
+	if s.Delay < 0 {
+		return fmt.Errorf("attack: negative Delay %v", s.Delay)
+	}
+	if s.Jitter < 0 {
+		return fmt.Errorf("attack: negative Jitter %v", s.Jitter)
+	}
+	if s.MaxCopies < 0 {
+		return fmt.Errorf("attack: negative MaxCopies %d", s.MaxCopies)
+	}
+	if s.Interval < 0 {
+		return fmt.Errorf("attack: negative Interval %v", s.Interval)
+	}
+	return nil
+}
+
+func (s *Spec) dropProb() float64 {
+	if s.Kind == KindBlackhole {
+		return 1
+	}
+	if s.DropProb == 0 {
+		return 0.5
+	}
+	return s.DropProb
+}
+
+func (s *Spec) delay() sim.Duration {
+	if s.Delay == 0 {
+		return 2 * sim.Second
+	}
+	return s.Delay
+}
+
+func (s *Spec) jitter() sim.Duration {
+	if s.Jitter == 0 {
+		return 500 * sim.Millisecond
+	}
+	return s.Jitter
+}
+
+func (s *Spec) ttl() uint8 {
+	if s.TTL == 0 {
+		return 16
+	}
+	return s.TTL
+}
+
+func (s *Spec) interval() sim.Duration {
+	if s.Interval == 0 {
+		return 5 * sim.Second
+	}
+	return s.Interval
+}
+
+// Instantiate materializes the adversary stack for one compromised device.
+// The victim's previous stack arrives as inner and keeps running underneath;
+// rng is the attacker's private NodeRand stream and sink the run's metrics.
+//
+// The returned stack is already bound to dev — its Start is never invoked,
+// because Start would re-arm the inner stack's timers (double beacons,
+// double readings). Side effects a Start would have performed (promiscuous
+// mode, flood repeaters) happen here instead, on the device directly.
+func (s *Spec) Instantiate(dev *node.Device, inner node.Stack, rng *rand.Rand, sink metrics.Sink) node.Stack {
+	switch s.Kind {
+	case KindBlackhole, KindSelectiveForward:
+		return &SelectiveForwarder{
+			Inner:     inner,
+			DropProb:  s.dropProb(),
+			Rng:       rng,
+			Metrics:   sink,
+			dev:       dev,
+			kindLabel: s.Kind.String(),
+		}
+	case KindReplay:
+		rp := NewReplayer(s.delay())
+		rp.Jitter = s.jitter()
+		rp.MaxCopies = s.MaxCopies
+		if s.MaxCopies <= 0 {
+			rp.MaxCopies = DefaultCampaignReplayCopies
+		}
+		rp.Inner = inner
+		rp.Rng = rng
+		rp.Metrics = sink
+		rp.dev = dev
+		dev.SetPromiscuous(true)
+		return rp
+	case KindSinkhole:
+		sh := &Sinkhole{
+			FakeGateway: s.FakeGateway,
+			Place:       s.Place,
+			TTL:         s.ttl(),
+			Inner:       inner,
+			Metrics:     sink,
+			dev:         dev,
+		}
+		dev.SetPromiscuous(true)
+		return sh
+	case KindSpoofedRouting:
+		hf := &HelloFlood{
+			Gateway:   s.FakeGateway,
+			Place:     s.Place,
+			PrevPlace: int(core.NoPlace),
+			Interval:  s.interval(),
+			TTL:       s.ttl(),
+			Inner:     inner,
+			Metrics:   sink,
+			dev:       dev,
+		}
+		hf.flood()
+		hf.rep = dev.Every(hf.Interval, hf.flood)
+		return hf
+	default:
+		return inner
+	}
+}

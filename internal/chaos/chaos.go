@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"wmsn/internal/attack"
 	"wmsn/internal/core"
 	"wmsn/internal/fault"
 	"wmsn/internal/obs"
@@ -55,6 +56,12 @@ type Options struct {
 	// workers. Incompatible with ArtifactDir — the obs bus is not
 	// concurrency-safe, and scenario validation rejects the combination.
 	Shards int
+	// Attacks adds one randomized compromise campaign per trial: a random
+	// attack family hits a random 5–25% sensor fraction at a random onset.
+	// The structural invariants must keep holding — attacker-swallowed
+	// frames are accounted drops, not ledger leaks. Off by default so
+	// existing soak seeds replay unchanged.
+	Attacks bool
 }
 
 // Trial summarizes one completed soak scenario.
@@ -103,6 +110,22 @@ func compose(rng *rand.Rand, o Options) scenario.Config {
 	}
 	if rng.Intn(3) == 0 {
 		plan.RampLoss(o.RunFor/4, o.RunFor/2, 0.1+rng.Float64()*0.2, 4)
+	}
+	if o.Attacks {
+		// One randomized compromise campaign per trial. Drawing these only
+		// when Attacks is set keeps every pre-existing soak seed replaying
+		// byte-identically.
+		specs := []attack.Spec{
+			{Kind: attack.KindSelectiveForward, DropProb: 0.25 + rng.Float64()*0.75},
+			{Kind: attack.KindBlackhole},
+			{Kind: attack.KindReplay, Delay: sim.Duration(1+rng.Intn(3)) * sim.Second, MaxCopies: 50 + rng.Intn(500)},
+			{Kind: attack.KindSinkhole, FakeGateway: scenario.GatewayID(rng.Intn(numGW)), Place: rng.Intn(numGW)},
+			{Kind: attack.KindSpoofedRouting, FakeGateway: scenario.GatewayID(rng.Intn(numGW)), Place: rng.Intn(numGW),
+				Interval: sim.Duration(1+rng.Intn(5)) * sim.Second},
+		}
+		sp := specs[rng.Intn(len(specs))]
+		onset := o.RunFor/8 + sim.Duration(rng.Int63n(int64(o.RunFor/2)))
+		plan.CompromiseFractionAt(sim.Time(onset), 0.05+rng.Float64()*0.2, sp, rng.Int63())
 	}
 	if len(plan.Events) == 0 && plan.Churn == nil {
 		// Never run fault-free: the harness exists to stress recovery.

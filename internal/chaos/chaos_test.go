@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 
+	"wmsn/internal/attack"
+	"wmsn/internal/fault"
 	"wmsn/internal/obs"
 	"wmsn/internal/scenario"
 	"wmsn/internal/sim"
@@ -176,5 +178,88 @@ func TestSoakRecordedMatchesBare(t *testing.T) {
 	names, _ := os.ReadDir(opt.ArtifactDir)
 	if len(names) != 0 {
 		t.Fatalf("healthy soak left %d artifact(s)", len(names))
+	}
+}
+
+// TestSoakAttacks runs the randomized trials with compromise campaigns
+// armed: every structural invariant must keep holding when a fraction of
+// the sensors turns hostile mid-run, and at least one trial must actually
+// land a compromise (otherwise the option is dead weight).
+func TestSoakAttacks(t *testing.T) {
+	opt := Options{Seed: 20260808, Trials: *soakTrials, Attacks: true, Log: t.Logf,
+		ArtifactDir: *soakArtifacts}
+	trials, err := Soak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compromised uint64
+	for _, tr := range trials {
+		if tr.Delivery < 0 || tr.Delivery > 1 {
+			t.Fatalf("trial seed %d: impossible delivery ratio %v", tr.Seed, tr.Delivery)
+		}
+		compromised += tr.Result.Metrics.CompromisedNodes
+	}
+	if compromised == 0 {
+		t.Fatal("no trial compromised any node — the attack campaigns never engaged")
+	}
+}
+
+// TestSoakAttacksSharded runs attack-randomized trials region-sharded and
+// replays them: compromise campaigns must be deterministic functions of the
+// trial seed at any shard count, or no violation they find is replayable.
+func TestSoakAttacksSharded(t *testing.T) {
+	opt := Options{Seed: 20260809, Trials: 4, RunFor: 40 * sim.Second, Shards: 3,
+		Attacks: true, Log: t.Logf}
+	trials, err := Soak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compromised uint64
+	for _, tr := range trials {
+		compromised += tr.Result.Metrics.CompromisedNodes
+	}
+	if compromised == 0 {
+		t.Fatal("no sharded trial compromised any node")
+	}
+	replay, err := Soak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trials {
+		sa, sb := trials[i].Result.Metrics.Snapshot(), replay[i].Result.Metrics.Snapshot()
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("sharded attack trial %d diverged between identical soak runs:\n%+v\nvs\n%+v", i, sa, sb)
+		}
+	}
+}
+
+// TestSoakAttackLedgerBalances pins the accounting claim behind the attack
+// soak: a blackhole insider swallows frames AFTER the link-layer ARQ has
+// acknowledged them, so attacker drops are end-to-end losses, not ledger
+// leaks — CheckLinkConservation must stay balanced while AttackerDropped
+// counts real damage.
+func TestSoakAttackLedgerBalances(t *testing.T) {
+	opt := Options{Seed: 31, Trials: 1, RunFor: 40 * sim.Second}.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cfg := compose(rng, opt)
+	cfg.Protocol = scenario.SecMLR
+	cfg.Faults = fault.NewPlan().CompromiseFractionAt(10*sim.Second, 0.25,
+		attack.Spec{Kind: attack.KindBlackhole}, 7)
+	n, err := scenario.BuildE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.StartTraffic()
+	n.World.Run(cfg.RunFor)
+	n.StopTraffic()
+	n.World.Run(cfg.RunFor + opt.Grace)
+	if n.Metrics.CompromisedNodes == 0 {
+		t.Fatal("campaign compromised no nodes")
+	}
+	if n.Metrics.AttackerDropped == 0 {
+		t.Fatal("blackhole insiders swallowed nothing — the attack never bit")
+	}
+	if err := CheckInvariants(n); err != nil {
+		t.Fatalf("attacked run violated invariants: %v", err)
 	}
 }

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction suite indexed in
-// DESIGN.md: one function per experiment (E1..E14), each returning the
+// DESIGN.md: one function per experiment (E1..E15), each returning the
 // table(s) the paper's corresponding figure/table/claim implies. The
 // cmd/wmsnbench binary prints them all; bench_test.go wraps each in a
 // testing.B benchmark.
@@ -172,5 +172,6 @@ func All() []Experiment {
 		{"E12", "SPR convergence — optimality and control overhead", E12SPRConvergence},
 		{"E13", "Reliability — recovery under injected faults", E13Reliability},
 		{"E14", "Link ARQ — delivery ratio vs per-link loss", E14LinkARQ},
+		{"E15", "Adversarial campaigns — resilience under compromised nodes", E15Adversarial},
 	}
 }

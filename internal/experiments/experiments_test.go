@@ -120,7 +120,9 @@ func TestE9MatrixHasAllCells(t *testing.T) {
 // Parallel execution must be invisible in the output: running the same
 // experiment with 1 worker and with 8 workers has to render byte-identical
 // tables, because results are merged by submission index. E1 covers the
-// placement-evaluation fan-out, E9 the full attack-matrix of scenario runs.
+// placement-evaluation fan-out, E9 the full attack-matrix of scenario runs,
+// E15 the mid-run compromise campaigns (whose adversaries must draw only
+// from their private per-node RNG streams for this to hold).
 // This test doubles as the runner's race-coverage entry point under
 // `go test -race` (the Makefile `race` target).
 func TestParallelOutputByteIdentical(t *testing.T) {
@@ -132,7 +134,7 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 		}
 		return sb.String()
 	}
-	for _, id := range []string{"E1", "E9"} {
+	for _, id := range []string{"E1", "E9", "E15"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
@@ -163,8 +165,51 @@ func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 14 {
-		t.Fatalf("suite has %d experiments, want 14", len(seen))
+	if len(seen) != 15 {
+		t.Fatalf("suite has %d experiments, want 15", len(seen))
+	}
+}
+
+// TestE15SecMLRHoldsDelivery pins E15's headline claim numerically: at
+// every nonzero attacker fraction and for every attack family, SecMLR's
+// delivery ratio is at least MLR's and SPR's. The quick table rows are
+// parsed back out of the rendered output so the assertion covers exactly
+// what EXPERIMENTS.md shows.
+func TestE15SecMLRHoldsDelivery(t *testing.T) {
+	out := E15Adversarial(quickOpts())[0].String()
+	type row struct {
+		attack   string
+		delivery float64
+	}
+	byProto := map[string][]row{}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 10 || f[1] == "0%" {
+			continue // header, separator, note, or the unattacked baseline
+		}
+		var d float64
+		if _, err := fmt.Sscanf(f[3], "%g", &d); err != nil {
+			continue
+		}
+		byProto[f[2]] = append(byProto[f[2]], row{f[0] + "/" + f[1], d})
+	}
+	sec := byProto["secmlr"]
+	if len(sec) == 0 {
+		t.Fatalf("no attacked secmlr rows parsed from:\n%s", out)
+	}
+	for _, proto := range []string{"mlr", "spr"} {
+		rows := byProto[proto]
+		if len(rows) != len(sec) {
+			t.Fatalf("%d %s rows vs %d secmlr rows", len(rows), proto, len(sec))
+		}
+		for i, r := range rows {
+			if sec[i].attack != r.attack {
+				t.Fatalf("row %d mismatch: secmlr %q vs %s %q", i, sec[i].attack, proto, r.attack)
+			}
+			if sec[i].delivery < r.delivery-1e-9 {
+				t.Errorf("%s: secmlr delivery %.4f below %s %.4f", r.attack, sec[i].delivery, proto, r.delivery)
+			}
+		}
 	}
 }
 

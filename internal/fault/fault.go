@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"wmsn/internal/attack"
 	"wmsn/internal/packet"
 	"wmsn/internal/sim"
 )
@@ -41,18 +42,20 @@ type Op uint8
 
 // Fault operations.
 const (
-	OpCrash        Op = iota // crash one device (CauseInjected)
-	OpRecover                // revive a previously crashed device
-	OpKillGateway            // crash the i-th scenario gateway
-	OpStopRouter             // halt a mesh router's control plane politely
-	OpResumeRouter           // resume a politely stopped router
-	OpDegradeLinks           // set extra reception loss on chosen nodes
-	OpDegradeAll             // set the sensor medium's loss rate
+	OpCrash              Op = iota // crash one device (CauseInjected)
+	OpRecover                      // revive a previously crashed device
+	OpKillGateway                  // crash the i-th scenario gateway
+	OpStopRouter                   // halt a mesh router's control plane politely
+	OpResumeRouter                 // resume a politely stopped router
+	OpDegradeLinks                 // set extra reception loss on chosen nodes
+	OpDegradeAll                   // set the sensor medium's loss rate
+	OpCompromise                   // swap one node's stack for an adversary
+	OpCompromiseFraction           // compromise a deterministic fraction of sensors
 )
 
 var opNames = [...]string{
 	"crash", "recover", "kill-gw", "stop-router", "resume-router",
-	"degrade-links", "degrade-all",
+	"degrade-links", "degrade-all", "compromise", "compromise-frac",
 }
 
 // String implements fmt.Stringer.
@@ -67,7 +70,8 @@ func (o Op) String() string {
 // and resumes end outages rather than starting them).
 func (o Op) disruptive() bool {
 	switch o {
-	case OpCrash, OpKillGateway, OpStopRouter, OpDegradeLinks, OpDegradeAll:
+	case OpCrash, OpKillGateway, OpStopRouter, OpDegradeLinks, OpDegradeAll,
+		OpCompromise, OpCompromiseFraction:
 		return true
 	}
 	return false
@@ -78,10 +82,19 @@ func (o Op) disruptive() bool {
 type Event struct {
 	At    sim.Time
 	Op    Op
-	Node  packet.NodeID   // crash/recover/router target
+	Node  packet.NodeID   // crash/recover/router/compromise target
 	GW    int             // gateway index for OpKillGateway
 	Rate  float64         // loss probability for degradation ops
 	Nodes []packet.NodeID // OpDegradeLinks targets
+
+	// Attack describes the adversary installed by the compromise ops.
+	Attack *attack.Spec
+	// Frac is the sensor fraction compromised by OpCompromiseFraction.
+	Frac float64
+	// ASeed seeds the private victim-selection shuffle of
+	// OpCompromiseFraction, keeping the victim set independent of the
+	// run's kernel RNG (and therefore of the shard count).
+	ASeed int64
 }
 
 // label renders the event for Reliability windows.
@@ -93,6 +106,10 @@ func (e Event) label() string {
 		return fmt.Sprintf("degrade-links %.2f", e.Rate)
 	case OpDegradeAll:
 		return fmt.Sprintf("degrade-all %.2f", e.Rate)
+	case OpCompromise:
+		return fmt.Sprintf("compromise %v %s", e.Node, e.Attack)
+	case OpCompromiseFraction:
+		return fmt.Sprintf("compromise %.0f%% %s", e.Frac*100, e.Attack)
 	default:
 		return fmt.Sprintf("%v %v", e.Op, e.Node)
 	}
@@ -176,6 +193,24 @@ func (p *Plan) RampLoss(from, to sim.Time, target float64, steps int) *Plan {
 	return p
 }
 
+// CompromiseAt schedules the compromise of device id at virtual time at: the
+// injector swaps the victim's protocol stack for the adversary sp describes,
+// wrapping the legitimate stack so the node keeps routing while it
+// misbehaves. Compromise is irreversible within a run.
+func (p *Plan) CompromiseAt(at sim.Time, id packet.NodeID, sp attack.Spec) *Plan {
+	p.Events = append(p.Events, Event{At: at, Op: OpCompromise, Node: id, Attack: &sp})
+	return p
+}
+
+// CompromiseFractionAt schedules the compromise of a deterministic fraction
+// of the run's sensors (rounded, at least one) at virtual time at. Victims
+// are chosen by a private shuffle seeded from seed alone, so the same plan
+// compromises the same nodes at any worker or shard count.
+func (p *Plan) CompromiseFractionAt(at sim.Time, frac float64, sp attack.Spec, seed int64) *Plan {
+	p.Events = append(p.Events, Event{At: at, Op: OpCompromiseFraction, Frac: frac, Attack: &sp, ASeed: seed})
+	return p
+}
+
 // WithChurn adds background sensor churn to the plan.
 func (p *Plan) WithChurn(c Churn) *Plan {
 	p.Churn = &c
@@ -217,6 +252,17 @@ func (p *Plan) Validate(runFor sim.Time) error {
 		case OpDegradeLinks, OpDegradeAll:
 			if ev.Rate < 0 || ev.Rate >= 1 || math.IsNaN(ev.Rate) {
 				errs = append(errs, fmt.Errorf("fault %d (%s): loss rate %v outside [0,1)", i, ev.label(), ev.Rate))
+			}
+		case OpCompromise, OpCompromiseFraction:
+			if ev.Attack == nil {
+				errs = append(errs, fmt.Errorf("fault %d (%v): no attack spec", i, ev.Op))
+				continue
+			}
+			if err := ev.Attack.Validate(); err != nil {
+				errs = append(errs, fmt.Errorf("fault %d (%s): %w", i, ev.label(), err))
+			}
+			if ev.Op == OpCompromiseFraction && (ev.Frac <= 0 || ev.Frac > 1 || math.IsNaN(ev.Frac)) {
+				errs = append(errs, fmt.Errorf("fault %d (%s): fraction %v outside (0,1]", i, ev.label(), ev.Frac))
 			}
 		}
 	}

@@ -4,6 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"reflect"
+
+	"wmsn/internal/attack"
 	"wmsn/internal/energy"
 	"wmsn/internal/geom"
 	"wmsn/internal/metrics"
@@ -255,5 +258,130 @@ func TestChurnRecoveriesHeal(t *testing.T) {
 	}
 	if alive := w.SensorsAlive(); alive != len(ids) {
 		t.Fatalf("%d/%d sensors alive at the end, want all (recoveries run past Stop)", alive, len(ids))
+	}
+}
+
+// TestCompromiseSwapsStack pins the tentpole mechanics: the injector swaps
+// the victim's stack for the adversary, wraps the old stack, counts the
+// compromise, emits AttackInjected, and never compromises the same node
+// twice.
+func TestCompromiseSwapsStack(t *testing.T) {
+	cap := &obs.Capture{}
+	w := node.NewWorld(node.Config{
+		Seed:          11,
+		EnergyModel:   energy.DefaultFixed,
+		SensorBattery: 10,
+		Obs:           obs.NewBus(cap),
+	})
+	var ids []packet.NodeID
+	for i := 0; i < 4; i++ {
+		id := packet.NodeID(i + 1)
+		w.AddSensor(id, geom.Point{X: float64(i) * 10, Y: 0}, 35, 10, nopStack{})
+		ids = append(ids, id)
+	}
+	m := &metrics.Memory{}
+	plan := NewPlan().
+		CompromiseAt(sim.Second, ids[0], attack.Spec{Kind: attack.KindBlackhole}).
+		CompromiseAt(2*sim.Second, ids[0], attack.Spec{Kind: attack.KindReplay})
+	in := Attach(plan, Env{World: w, Metrics: m, Sensors: ids, Horizon: 10 * sim.Second, Seed: 42})
+	w.Run(3 * sim.Second)
+
+	sf, ok := w.Device(ids[0]).Stack().(*attack.SelectiveForwarder)
+	if !ok {
+		t.Fatalf("victim stack is %T, want *attack.SelectiveForwarder", w.Device(ids[0]).Stack())
+	}
+	if _, ok := sf.Inner.(nopStack); !ok {
+		t.Fatalf("adversary wraps %T, want the victim's original stack", sf.Inner)
+	}
+	if m.CompromisedNodes != 1 {
+		t.Fatalf("CompromisedNodes = %d, want 1 (second compromise of same node is a no-op)", m.CompromisedNodes)
+	}
+	if m.FaultsInjected != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2 (both plan events executed)", m.FaultsInjected)
+	}
+	var atk []obs.Event
+	for _, ev := range cap.Events {
+		if ev.Kind == obs.AttackInjected {
+			atk = append(atk, ev)
+		}
+	}
+	if len(atk) != 1 || atk[0].Node != ids[0] || atk[0].Detail != "blackhole" {
+		t.Fatalf("AttackInjected events %+v, want one for n1/blackhole", atk)
+	}
+	rel := in.Finish()
+	if rel.Compromised != 1 {
+		t.Fatalf("Reliability.Compromised = %d, want 1", rel.Compromised)
+	}
+}
+
+// TestCompromiseFractionDeterministicVictims pins victim selection to the
+// plan's ASeed alone: same seed, same victims, independent of everything
+// else; a fraction rounding to zero still claims one victim.
+func TestCompromiseFractionDeterministicVictims(t *testing.T) {
+	victims := func(aseed int64, frac float64) []packet.NodeID {
+		w, ids := testWorld(5, 10)
+		m := &metrics.Memory{}
+		plan := NewPlan().CompromiseFractionAt(sim.Second, frac, attack.Spec{Kind: attack.KindBlackhole}, aseed)
+		Attach(plan, Env{World: w, Metrics: m, Sensors: ids, Horizon: 10 * sim.Second, Seed: 1})
+		w.Run(2 * sim.Second)
+		var out []packet.NodeID
+		for _, id := range ids {
+			if _, ok := w.Device(id).Stack().(*attack.SelectiveForwarder); ok {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	a, b := victims(77, 0.3), victims(77, 0.3)
+	if len(a) != 3 {
+		t.Fatalf("frac 0.3 of 10 sensors compromised %d nodes, want 3", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same ASeed chose different victims: %v vs %v", a, b)
+	}
+	if c := victims(78, 0.3); reflect.DeepEqual(a, c) {
+		t.Fatalf("different ASeeds chose identical victims %v", a)
+	}
+	if one := victims(77, 0.01); len(one) != 1 {
+		t.Fatalf("frac 0.01 compromised %d nodes, want minimum 1", len(one))
+	}
+}
+
+// TestValidateRejectsBadCompromise extends plan validation to the attack
+// knobs, which Config.Validate reaches through Plan.Validate.
+func TestValidateRejectsBadCompromise(t *testing.T) {
+	runFor := 60 * sim.Second
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"unknown attack kind", NewPlan().CompromiseAt(sim.Second, 1, attack.Spec{Kind: 99}), "unknown kind"},
+		{"drop prob high", NewPlan().CompromiseAt(sim.Second, 1,
+			attack.Spec{Kind: attack.KindSelectiveForward, DropProb: 1.5}), "outside [0,1]"},
+		{"negative delay", NewPlan().CompromiseAt(sim.Second, 1,
+			attack.Spec{Kind: attack.KindReplay, Delay: -sim.Second}), "negative Delay"},
+		{"negative copies", NewPlan().CompromiseAt(sim.Second, 1,
+			attack.Spec{Kind: attack.KindReplay, MaxCopies: -1}), "negative MaxCopies"},
+		{"fraction zero", NewPlan().CompromiseFractionAt(sim.Second, 0,
+			attack.Spec{Kind: attack.KindBlackhole}, 1), "outside (0,1]"},
+		{"fraction high", NewPlan().CompromiseFractionAt(sim.Second, 1.5,
+			attack.Spec{Kind: attack.KindBlackhole}, 1), "outside (0,1]"},
+		{"nil attack", &Plan{Events: []Event{{At: sim.Second, Op: OpCompromise, Node: 1}}}, "no attack spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(runFor)
+			if err == nil {
+				t.Fatal("plan validated, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	ok := NewPlan().CompromiseFractionAt(sim.Second, 0.2, attack.Spec{Kind: attack.KindSinkhole}, 7)
+	if err := ok.Validate(runFor); err != nil {
+		t.Fatalf("valid compromise plan rejected: %v", err)
 	}
 }

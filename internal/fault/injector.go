@@ -1,8 +1,11 @@
 package fault
 
 import (
+	"math"
+	"math/rand"
 	"sort"
 
+	"wmsn/internal/attack"
 	"wmsn/internal/metrics"
 	"wmsn/internal/node"
 	"wmsn/internal/obs"
@@ -23,6 +26,10 @@ type Env struct {
 	Sensors []packet.NodeID
 	// Horizon bounds Reliability windows and default churn Stop.
 	Horizon sim.Time
+	// Seed is the scenario seed; compromise ops derive each attacker's
+	// private RNG from it (attack.NodeRand) so adversary behavior never
+	// draws from the kernel's — possibly per-lane — RNG.
+	Seed int64
 	// StopRouter and ResumeRouter, when set, implement the polite
 	// control-plane partition on a mesh backbone. Nil hooks degrade
 	// OpStopRouter/OpResumeRouter to device crash/recovery.
@@ -69,15 +76,22 @@ type Reliability struct {
 	// deadline expiring and its replacement being installed (0 when no
 	// reroute happened).
 	TimeToReroute sim.Duration
+	// Compromised counts nodes whose stack a compromise op swapped for an
+	// adversary; AttackerDropped/AttackerInjected total what those
+	// adversaries swallowed and forged.
+	Compromised      uint64
+	AttackerDropped  uint64
+	AttackerInjected uint64
 	// Windows holds one entry per disruptive plan event, in time order.
 	Windows []Window
 }
 
 // Injector executes a Plan on one run's kernel.
 type Injector struct {
-	plan    *Plan
-	env     Env
-	windows []*window
+	plan        *Plan
+	env         Env
+	windows     []*window
+	compromised map[packet.NodeID]bool
 }
 
 // Attach schedules every event of the plan onto the run's kernel and starts
@@ -187,9 +201,30 @@ func (in *Injector) exec(ev Event) {
 		}
 	case OpDegradeAll:
 		w.SensorMedium().SetLossRate(ev.Rate)
+	case OpCompromise:
+		in.compromise(ev, ev.Node)
+	case OpCompromiseFraction:
+		// Victim selection must not depend on worker or shard count, so the
+		// shuffle uses a private RNG seeded from the plan, never the kernel's.
+		pool := append([]packet.NodeID(nil), in.env.Sensors...)
+		rng := rand.New(rand.NewSource(ev.ASeed))
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		k := int(math.Round(ev.Frac * float64(len(pool))))
+		if k < 1 && ev.Frac > 0 && len(pool) > 0 {
+			k = 1
+		}
+		if k > len(pool) {
+			k = len(pool)
+		}
+		for _, id := range pool[:k] {
+			in.compromise(ev, id)
+		}
 	}
 	if ev.Op.disruptive() {
 		in.env.Metrics.Inc(metrics.FaultsInjected)
+		if ev.Op == OpCompromise || ev.Op == OpCompromiseFraction {
+			return // per-victim AttackInjected events already emitted
+		}
 		if b := w.Obs(); b.Active() {
 			target := ev.Node
 			if ev.Op == OpKillGateway && ev.GW < len(in.env.Gateways) {
@@ -200,6 +235,32 @@ func (in *Injector) exec(ev Event) {
 				Detail: ev.label(), Value: int64(len(ev.Nodes)),
 			})
 		}
+	}
+}
+
+// compromise swaps one victim's stack for the adversary ev.Attack describes.
+// Gateways, routers, dead devices and already-compromised nodes are skipped:
+// the paper's threat model (§2.3) is captured sensor nodes, and compromise
+// is idempotent per node within a run.
+func (in *Injector) compromise(ev Event, id packet.NodeID) {
+	w := in.env.World
+	d := w.Device(id)
+	if d == nil || d.Kind() != node.Sensor || !d.Alive() || in.compromised[id] {
+		return
+	}
+	if in.compromised == nil {
+		in.compromised = make(map[packet.NodeID]bool)
+	}
+	in.compromised[id] = true
+	rng := attack.NodeRand(in.env.Seed, id)
+	st := ev.Attack.Instantiate(d, d.Stack(), rng, in.env.Metrics)
+	d.SwapStack(st)
+	in.env.Metrics.Inc(metrics.CompromisedNodes)
+	if b := w.Obs(); b.Active() {
+		b.Emit(obs.Event{
+			At: w.Kernel().Now(), Kind: obs.AttackInjected, Node: id,
+			Detail: ev.Attack.String(),
+		})
 	}
 }
 
@@ -256,8 +317,11 @@ func (in *Injector) Finish() *Reliability {
 	}
 	m := in.env.Metrics
 	rel := &Reliability{
-		FaultsInjected: m.FaultsInjected,
-		Reroutes:       m.Reroutes,
+		FaultsInjected:   m.FaultsInjected,
+		Reroutes:         m.Reroutes,
+		Compromised:      m.CompromisedNodes,
+		AttackerDropped:  m.AttackerDropped,
+		AttackerInjected: m.AttackerInjected,
 	}
 	if m.Reroutes > 0 {
 		rel.TimeToReroute = sim.Duration(m.FailoverLatencyUs / m.Reroutes)

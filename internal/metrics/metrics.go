@@ -61,6 +61,9 @@ const (
 	LinkFailures                      // frames abandoned after exhausting the retry budget
 	LinkFlushed                       // queued frames discarded when their node died
 	QueueDrops                        // frames rejected by a full forwarding queue (backpressure)
+	CompromisedNodes                  // nodes whose stack the fault injector swapped for an adversary
+	AttackerDropped                   // packets swallowed by adversary stacks
+	AttackerInjected                  // packets forged or replayed onto the air by adversary stacks
 	numCounters
 )
 
@@ -97,6 +100,9 @@ var counterNames = [numCounters]string{
 	LinkFailures:       "link_failures",
 	LinkFlushed:        "link_flushed",
 	QueueDrops:         "queue_drops",
+	CompromisedNodes:   "compromised_nodes",
+	AttackerDropped:    "attacker_dropped",
+	AttackerInjected:   "attacker_injected",
 }
 
 // String returns the stable snake_case name used in Snapshot JSON.
@@ -182,6 +188,10 @@ type Memory struct {
 	LinkFailures uint64 // frames abandoned after exhausting the retry budget
 	LinkFlushed  uint64 // queued frames discarded when their node died
 	QueueDrops   uint64 // frames rejected by a full forwarding queue (backpressure)
+
+	CompromisedNodes uint64 // nodes whose stack the fault injector swapped for an adversary
+	AttackerDropped  uint64 // packets swallowed by adversary stacks
+	AttackerInjected uint64 // packets forged or replayed onto the air by adversary stacks
 
 	pending    map[floodKey]pendingData
 	latencies  []sim.Duration
@@ -270,6 +280,12 @@ func (m *Memory) counterPtr(c Counter) *uint64 {
 		return &m.LinkFlushed
 	case QueueDrops:
 		return &m.QueueDrops
+	case CompromisedNodes:
+		return &m.CompromisedNodes
+	case AttackerDropped:
+		return &m.AttackerDropped
+	case AttackerInjected:
+		return &m.AttackerInjected
 	}
 	return nil
 }

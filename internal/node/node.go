@@ -194,6 +194,17 @@ func (d *Device) RecvPackets() uint64 { return d.world.soa.recv[d.h] }
 // Stack returns the sensor-layer protocol stack.
 func (d *Device) Stack() Stack { return d.stack }
 
+// SwapStack replaces the device's protocol stack in place and returns the
+// previous one. The new stack's Start is NOT invoked — the caller either
+// wraps the old stack (which keeps running underneath) or binds the
+// replacement itself. The fault injector uses this to compromise nodes
+// mid-run without re-arming the victim's timers.
+func (d *Device) SwapStack(st Stack) Stack {
+	old := d.stack
+	d.stack = st
+	return old
+}
+
 // SensorStation returns the sensor-layer radio attachment, or nil.
 func (d *Device) SensorStation() *radio.Station { return d.sensorSt }
 

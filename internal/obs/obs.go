@@ -52,6 +52,9 @@ const (
 	NodeDeath                   // a non-gateway device died (any cause)
 	NodeRecover                 // a dead device was revived
 	Sample                      // periodic gauge sample (Detail = gauge name, Value = value)
+	AttackInjected              // the fault injector swapped a node's stack for an adversary
+	AttackDrop                  // an adversary stack swallowed a packet it should have forwarded
+	AttackInject                // an adversary stack put a forged or replayed packet on the air
 	numKinds
 )
 
@@ -71,6 +74,9 @@ var kindNames = [numKinds]string{
 	NodeDeath:       "node_death",
 	NodeRecover:     "node_recover",
 	Sample:          "sample",
+	AttackInjected:  "attack_injected",
+	AttackDrop:      "attack_drop",
+	AttackInject:    "attack_inject",
 }
 
 // String returns the stable snake_case name used in JSONL traces.
@@ -138,6 +144,9 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 //	NodeDeath         Node = device, Detail = cause
 //	NodeRecover       Node = device
 //	Sample            Detail = gauge name, Value = gauge value
+//	AttackInjected    Node = compromised device, Detail = attack kind
+//	AttackDrop        Node = attacker, Origin/Seq = swallowed packet, Detail = attack kind
+//	AttackInject      Node = attacker, Origin/Seq = carried packet, Detail = attack kind
 type Event struct {
 	At     sim.Time      `json:"at"`
 	Kind   Kind          `json:"kind"`

@@ -211,7 +211,9 @@ func DropTable(events []Event) *trace.Table {
 				n = uint64(ev.Value)
 			}
 			counts[dropKey{ev.Kind, ev.Detail}] += n
-		case QueueDrop, FrameLost, LinkFailure:
+		case QueueDrop, FrameLost, LinkFailure, AttackDrop:
+			// AttackDrop gets its own rows (keyed by attack kind via Detail)
+			// so attacker-swallowed packets are never mistaken for radio loss.
 			counts[dropKey{ev.Kind, ev.Detail}]++
 		}
 	}
@@ -273,7 +275,7 @@ func Reroutes(events []Event) []Event {
 	var out []Event
 	for _, ev := range events {
 		switch ev.Kind {
-		case Reroute, FaultInjected, GatewayDeath, NodeDeath, NodeRecover:
+		case Reroute, FaultInjected, AttackInjected, GatewayDeath, NodeDeath, NodeRecover:
 			out = append(out, ev)
 		}
 	}

@@ -11,7 +11,8 @@ import (
 // Series is the time-bucketed sink: it folds the event stream into
 // fixed-width virtual-time buckets, accumulating packet counts (generated,
 // delivered, expired), link activity (retries, queue drops), routing churn
-// (reroutes, link failures) and the last value of every sampled gauge
+// (reroutes, link failures), adversary activity (attacker-swallowed and
+// attacker-injected packets) and the last value of every sampled gauge
 // (in-flight packets, queue depth, mean energy — see Bus.Sample). Because it
 // consumes nothing but events, replaying a JSONL trace through a Series
 // reproduces exactly the table a live run would have produced.
@@ -29,7 +30,9 @@ type seriesBucket struct {
 	drops     uint64 // queue drops
 	reroutes  uint64
 	failures  uint64 // link failures
-	faults    uint64 // fault injections + deaths
+	faults    uint64 // fault injections + compromises + deaths
+	atkDrops  uint64 // packets swallowed by adversary stacks
+	atkSent   uint64 // packets forged or replayed by adversary stacks
 	gauges    map[string]int64
 }
 
@@ -78,8 +81,12 @@ func (s *Series) Observe(ev Event) {
 		b.reroutes++
 	case LinkFailure:
 		b.failures++
-	case FaultInjected, GatewayDeath, NodeDeath:
+	case FaultInjected, AttackInjected, GatewayDeath, NodeDeath:
 		b.faults++
+	case AttackDrop:
+		b.atkDrops++
+	case AttackInject:
+		b.atkSent++
 	case Sample:
 		if b.gauges == nil {
 			b.gauges = make(map[string]int64)
@@ -99,7 +106,7 @@ func (s *Series) Table(title string) *trace.Table {
 	}
 	sort.Strings(names)
 
-	headers := []string{"t", "gen", "dlv", "ratio", "exp", "retry", "qdrop", "reroute", "lfail", "fault"}
+	headers := []string{"t", "gen", "dlv", "ratio", "exp", "retry", "qdrop", "reroute", "lfail", "fault", "atkdrop", "atkinj"}
 	headers = append(headers, names...)
 	t := trace.NewTable(title, headers...)
 	for i, b := range s.buckets {
@@ -107,6 +114,7 @@ func (s *Series) Table(title string) *trace.Table {
 			fmt.Sprintf("%.0fs", (sim.Time(i) * s.bucket).Seconds()),
 			b.generated, b.delivered, trace.Ratio(b.delivered, b.generated),
 			b.expired, b.retries, b.drops, b.reroutes, b.failures, b.faults,
+			b.atkDrops, b.atkSent,
 		}
 		for _, n := range names {
 			if v, ok := b.gauges[n]; ok {

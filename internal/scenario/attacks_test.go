@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"wmsn/internal/attack"
+	"wmsn/internal/fault"
+	"wmsn/internal/sim"
+)
+
+// attackCfg is a mid-size compromised run used by the determinism tests.
+func attackCfg(sp attack.Spec, shards int) Config {
+	return Config{
+		Seed: 41, Protocol: SecMLR, NumSensors: 100, RunFor: 60 * sim.Second,
+		SensorBattery: 1e6, Shards: shards,
+		Faults: fault.NewPlan().CompromiseFractionAt(20*sim.Second, 0.15, sp, 4141),
+	}
+}
+
+// attackFlow is the shard-exact slice of an attacked run: end-to-end flow
+// counts plus the compromise ledger. Radio/energy/path metrics stay out —
+// the sharded contract only bounds those (flood-cascade tie resolution),
+// see TestShardedSummariesMatch.
+type attackFlow struct {
+	generated, delivered, duplicates uint64
+	compromised, dropped             uint64
+	sensorsAlive                     int
+	firstDeath                       sim.Time
+}
+
+func attackSummarize(r Result) attackFlow {
+	return attackFlow{
+		generated:    r.Metrics.Generated,
+		delivered:    r.Metrics.Delivered,
+		duplicates:   r.Metrics.Duplicates,
+		compromised:  r.Metrics.CompromisedNodes,
+		dropped:      r.Metrics.AttackerDropped,
+		sensorsAlive: r.SensorsAlive,
+		firstDeath:   r.FirstDeath,
+	}
+}
+
+// TestCompromisedRunShardInvariant pins the tentpole's determinism claim:
+// the victim set of a compromise campaign is chosen by a plan-seeded
+// shuffle, and blackhole adversaries draw no randomness at all, so the
+// end-to-end flow summary of an attacked run — including the compromise
+// ledger — is EXACTLY equal between the sequential engine and the
+// region-sharded one.
+func TestCompromisedRunShardInvariant(t *testing.T) {
+	seq := Run(attackCfg(attack.Spec{Kind: attack.KindBlackhole}, 0))
+	if seq.Metrics.CompromisedNodes == 0 || seq.Metrics.AttackerDropped == 0 {
+		t.Fatalf("sequential attacked run never engaged: compromised=%d dropped=%d",
+			seq.Metrics.CompromisedNodes, seq.Metrics.AttackerDropped)
+	}
+	for _, shards := range []int{2, 3} {
+		got := Run(attackCfg(attack.Spec{Kind: attack.KindBlackhole}, shards))
+		if attackSummarize(got) != attackSummarize(seq) {
+			t.Fatalf("shards=%d attacked flow summary diverged:\n%+v\nvs sequential\n%+v",
+				shards, attackSummarize(got), attackSummarize(seq))
+		}
+	}
+	// Attack families that draw from their private per-node RNG are still
+	// compromise-set invariant (the draws only steer behavior, whose
+	// tie-sensitive outcomes the sharded contract does not pin exactly).
+	for _, sp := range []attack.Spec{
+		{Kind: attack.KindSelectiveForward},
+		{Kind: attack.KindReplay, MaxCopies: 50},
+	} {
+		got := Run(attackCfg(sp, 2))
+		if got.Metrics.CompromisedNodes != seq.Metrics.CompromisedNodes {
+			t.Fatalf("%s shards=2 compromised %d nodes, want %d (ASeed-pinned victim set)",
+				sp, got.Metrics.CompromisedNodes, seq.Metrics.CompromisedNodes)
+		}
+	}
+}
+
+// TestCompromisedRunReproducible replays an attacked sharded run and
+// demands byte-equal metrics: campaigns must be pure functions of the
+// config at any shard count.
+func TestCompromisedRunReproducible(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		cfg := attackCfg(attack.Spec{Kind: attack.KindReplay, MaxCopies: 50}, shards)
+		a, b := Run(cfg), Run(cfg)
+		sa, sb := a.Metrics.Snapshot(), b.Metrics.Snapshot()
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("shards=%d attacked run diverged between identical invocations:\n%+v\nvs\n%+v",
+				shards, sa, sb)
+		}
+		if a.Metrics.AttackerInjected == 0 {
+			t.Fatalf("shards=%d replay campaign injected nothing", shards)
+		}
+	}
+}

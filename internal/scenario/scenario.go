@@ -479,6 +479,7 @@ func buildE(cfg Config, ar *runArena) (*Net, error) {
 			Gateways: n.GatewayIDs,
 			Sensors:  n.SensorIDs,
 			Horizon:  cfg.RunFor,
+			Seed:     cfg.Seed,
 		})
 	}
 

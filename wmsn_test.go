@@ -80,7 +80,7 @@ func TestMeshFacade(t *testing.T) {
 }
 
 func TestExperimentSuiteExposed(t *testing.T) {
-	if got := len(wmsn.AllExperiments()); got != 14 {
+	if got := len(wmsn.AllExperiments()); got != 15 {
 		t.Fatalf("suite has %d experiments", got)
 	}
 }
