@@ -81,8 +81,12 @@ bench-scale:
 
 # Allocation guard: the end-to-end benchmarks (pinned seed set, so allocs/op
 # are exactly reproducible) and the dedupe micro-benchmark may not allocate
-# more per op than the committed BENCH_scale.json baseline.
+# more per op than the committed BENCH_scale.json baseline. The zero-alloc
+# test first pins that dormant telemetry (histograms, progress probes) costs
+# nothing on the hot path — the histograms are inline arrays in Memory, so
+# the end-to-end allocs/op rows must not move either.
 bench-guard:
+	$(GO) test -run='TestObserveZeroAlloc' -count=1 ./internal/metrics/
 	$(GO) test -run='^$$' -bench='BenchmarkEndToEndSPR$$|BenchmarkEndToEndARQ' -benchmem -benchtime=8x . > bench_output.txt
 	$(GO) test -run='^$$' -bench='BenchmarkDedupe$$' -benchmem -benchtime=8x ./internal/packet/ >> bench_output.txt
 	$(GO) run ./cmd/benchjson -prev BENCH_scale.json -guard-allocs 1.0 < bench_output.txt > /dev/null

@@ -32,6 +32,11 @@ type experimentExport struct {
 	// shared harness path; experiments that drive runs through custom
 	// sweep code report zero runs here.
 	Metrics metrics.Snapshot `json:"metrics"`
+	// Cells holds the experiment's labeled per-sweep-point aggregates
+	// (E13/E14/E15): each cell's snapshot carries the failover-latency and
+	// link-retry histograms with p50/p95/p99, keyed by the sweep coordinates
+	// (attack, fraction, protocol, loss, ...).
+	Cells []experiments.Cell `json:"cells,omitempty"`
 }
 
 type export struct {
@@ -110,9 +115,12 @@ func main() {
 		}
 		ran++
 		var agg *metrics.Aggregate
+		var cells *experiments.CellSink
 		if *metricsJSON != "" {
 			agg = metrics.NewAggregate()
 			opts.Metrics = agg
+			cells = &experiments.CellSink{}
+			opts.Cells = cells
 		}
 		if *traceDir != "" {
 			opts.Trace = &experiments.TraceDir{
@@ -144,7 +152,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %d trace file(s) in %s\n", e.ID, t.Files(), *traceDir)
 		}
 		if agg != nil {
-			ee := experimentExport{Title: e.Title, Metrics: agg.Snapshot()}
+			ee := experimentExport{Title: e.Title, Metrics: agg.Snapshot(), Cells: cells.Cells}
 			for _, tbl := range tables {
 				ee.Tables = append(ee.Tables, tbl.Data())
 			}

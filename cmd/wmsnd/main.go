@@ -8,13 +8,21 @@
 //
 // Endpoints:
 //
-//	POST   /v1/runs              submit a job (?stream=1 to stream inline)
-//	GET    /v1/jobs/{id}         job status
-//	GET    /v1/jobs/{id}/stream  JSONL stream (?detach=1 to survive disconnect)
-//	DELETE /v1/jobs/{id}         cancel a job
-//	GET    /v1/protocols         routing protocols this build can simulate
-//	GET    /healthz              liveness + queue gauges
-//	GET    /stats                lifecycle counters
+//	POST   /v1/runs                submit a job (?stream=1 to stream inline)
+//	GET    /v1/jobs/{id}           job status
+//	GET    /v1/jobs/{id}/stream    JSONL stream (?detach=1 to survive disconnect)
+//	GET    /v1/jobs/{id}/progress  live per-run watermark (virtual time, events, deliveries)
+//	DELETE /v1/jobs/{id}           cancel a job
+//	GET    /v1/protocols           routing protocols this build can simulate
+//	GET    /healthz                liveness + queue gauges
+//	GET    /stats                  lifecycle counters (JSON)
+//	GET    /metrics                Prometheus text exposition: daemon counters,
+//	                               queue gauges, per-protocol delivery/failover
+//	                               latency histograms
+//
+// Submitting with "progress_s": N in the request body additionally emits one
+// {"type":"progress"} heartbeat line on the JSONL stream every N wall-clock
+// seconds while the job runs.
 package main
 
 import (

@@ -460,6 +460,7 @@ func (s *MLRSensor) sweep() {
 	if s.BestRoute() != nil {
 		s.Metrics.Inc(metrics.Reroutes)
 		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-lostAt))
+		s.Metrics.Observe(metrics.HistFailoverLatencyUs, uint64(now-lostAt))
 		traceReroute(s.dev, s.BestRoute().Gateway, "liveness", now-lostAt)
 		return
 	}
@@ -608,6 +609,7 @@ func (s *MLRSensor) decide() {
 		s.rerouting = false
 		s.Metrics.Inc(metrics.Reroutes)
 		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(s.dev.Now()-s.lostAt))
+		s.Metrics.Observe(metrics.HistFailoverLatencyUs, uint64(s.dev.Now()-s.lostAt))
 		traceReroute(s.dev, best.Gateway, "rediscovery", s.dev.Now()-s.lostAt)
 	}
 	for _, p := range s.queue {

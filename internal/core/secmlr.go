@@ -481,6 +481,7 @@ type pendingTx struct {
 	payload []byte
 	tried   map[int]bool // places already attempted
 	timer   *sim.Timer
+	sentAt  sim.Time // first transmission, for the failover-latency histogram
 }
 
 // flowKey identifies a forwarding entry: which origin's data, toward which
@@ -719,7 +720,7 @@ func (s *SecMLRSensor) sendData(payload []byte, r *Route, prev *pendingTx) {
 	tx := prev
 	if tx == nil {
 		s.seq++
-		tx = &pendingTx{seq: s.seq, payload: payload, tried: map[int]bool{}}
+		tx = &pendingTx{seq: s.seq, payload: payload, tried: map[int]bool{}, sentAt: s.dev.Now()}
 		s.pending[tx.seq] = tx
 		s.Metrics.RecordGenerated(s.dev.ID(), tx.seq, s.dev.Now())
 	}
@@ -765,6 +766,9 @@ func (s *SecMLRSensor) failover(seq uint32) {
 		return
 	}
 	s.Metrics.Inc(metrics.Failovers)
+	// Histogram only: the FailoverLatencyUs counter is reserved for the
+	// advert-liveness reroutes whose mean the text tables already report.
+	s.Metrics.Observe(metrics.HistFailoverLatencyUs, uint64(s.dev.Now()-tx.sentAt))
 	traceReroute(s.dev, next.Gateway, "ack_failover", 0)
 	s.sendData(tx.payload, next, tx)
 }

@@ -160,6 +160,7 @@ func (s *SPRSensor) decide() {
 			s.rerouting = false
 			s.Metrics.Inc(metrics.Reroutes)
 			s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-s.lostAt))
+			s.Metrics.Observe(metrics.HistFailoverLatencyUs, uint64(now-s.lostAt))
 			traceReroute(s.dev, best.Gateway, "rediscovery", now-s.lostAt)
 		}
 	}
@@ -206,6 +207,7 @@ func (s *SPRSensor) sweep() {
 		s.routeFresh = true
 		s.Metrics.Inc(metrics.Reroutes)
 		s.Metrics.Add(metrics.FailoverLatencyUs, uint64(now-lostAt))
+		s.Metrics.Observe(metrics.HistFailoverLatencyUs, uint64(now-lostAt))
 		traceReroute(s.dev, next.Gateway, "liveness", now-lostAt)
 		return
 	}

@@ -50,6 +50,12 @@ func E13Reliability(o Opts) []*trace.Table {
 	}
 	results := runConfigs(o, cfgs)
 	for vi, v := range variants {
+		o.Cells.add("E13", map[string]string{
+			"scenario": "gateway_kill",
+			"protocol": string(v.proto),
+		}, results[vi*seeds:(vi+1)*seeds]...)
+	}
+	for vi, v := range variants {
 		var reroutes, ttrMs, before, during, after float64
 		for s := 0; s < seeds; s++ {
 			rel := results[vi*seeds+s].Reliability
@@ -93,6 +99,12 @@ func E13Reliability(o Opts) []*trace.Table {
 		}
 	}
 	results = runConfigs(o, cfgs)
+	for vi, v := range churnVariants {
+		o.Cells.add("E13", map[string]string{
+			"scenario": "churn",
+			"protocol": string(v.proto),
+		}, results[vi*seeds:(vi+1)*seeds]...)
+	}
 	for vi, v := range churnVariants {
 		var faults, ratio, cost, alive float64
 		for s := 0; s < seeds; s++ {

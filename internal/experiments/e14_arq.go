@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"wmsn/internal/core"
 	"wmsn/internal/scenario"
 	"wmsn/internal/sim"
@@ -57,6 +59,17 @@ func E14LinkARQ(o Opts) []*trace.Table {
 		}
 	}
 	results := runConfigs(o, cfgs)
+	ci := 0
+	for _, v := range variants {
+		for _, loss := range losses {
+			o.Cells.add("E14", map[string]string{
+				"variant":  v.name,
+				"protocol": string(v.proto),
+				"loss":     fmt.Sprintf("%.2f", loss),
+			}, results[ci*seeds:(ci+1)*seeds]...)
+			ci++
+		}
+	}
 	i := 0
 	for _, v := range variants {
 		for _, loss := range losses {

@@ -92,6 +92,18 @@ func E15Adversarial(o Opts) []*trace.Table {
 	}
 	results := runConfigs(o, cfgs)
 
+	// Per-campaign distributional export: one labeled cell per (attack ×
+	// fraction × protocol), merging the cell's seeds. The cell snapshots
+	// carry the failover-latency histogram (p50/p95/p99 per campaign) that
+	// the mean-only text table cannot show.
+	for ci, c := range cells {
+		o.Cells.add("E15", map[string]string{
+			"attack":   c.attack,
+			"fraction": fmt.Sprintf("%.2f", c.frac),
+			"protocol": string(c.proto),
+		}, results[ci*seeds:(ci+1)*seeds]...)
+	}
+
 	tbl := trace.NewTable("E15: adversarial campaigns — delivery under compromised insiders",
 		"attack", "frac", "protocol", "delivery", "dups", "reroutes", "failover",
 		"compromised", "atk dropped", "atk injected")

@@ -51,6 +51,47 @@ type Opts struct {
 	// files are written in submission order after the pool drains, so the
 	// spool contents are byte-identical at any worker count.
 	Trace *TraceDir
+	// Cells, when non-nil, collects labeled per-cell aggregates from the
+	// experiments that sweep a parameter grid (E13/E14/E15): one Cell per
+	// (sweep point), folding that point's seeds in submission order. This
+	// is how distributional metrics — failover-latency and link-retry
+	// percentiles per (attack × fraction × protocol) campaign — reach
+	// -metrics-json without touching the golden text tables.
+	Cells *CellSink
+}
+
+// Cell is one labeled sweep point's aggregate: the experiment ID, the sweep
+// coordinates as a flat string map (keys sorted by encoding/json, so output
+// is deterministic), and the merged metrics snapshot including histogram
+// percentiles.
+type Cell struct {
+	Experiment string            `json:"experiment"`
+	Labels     map[string]string `json:"labels"`
+	Runs       int               `json:"runs"`
+	Metrics    metrics.Snapshot  `json:"metrics"`
+}
+
+// CellSink accumulates cells in the order experiments emit them. Experiments
+// append on the harness goroutine after their runs complete, so no locking.
+type CellSink struct {
+	Cells []Cell
+}
+
+// add folds the given results into one labeled cell.
+func (c *CellSink) add(experiment string, labels map[string]string, results ...scenario.Result) {
+	if c == nil {
+		return
+	}
+	agg := metrics.NewAggregate()
+	for i := range results {
+		agg.Absorb(results[i].Metrics)
+	}
+	c.Cells = append(c.Cells, Cell{
+		Experiment: experiment,
+		Labels:     labels,
+		Runs:       agg.Runs(),
+		Metrics:    agg.Snapshot(),
+	})
 }
 
 // TraceDir spools per-run observability traces into a directory, one

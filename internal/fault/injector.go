@@ -76,6 +76,14 @@ type Reliability struct {
 	// deadline expiring and its replacement being installed (0 when no
 	// reroute happened).
 	TimeToReroute sim.Duration
+	// TimeToRerouteP50/P95/Max characterize the failover-latency
+	// distribution (metrics.HistFailoverLatencyUs): a healthy-looking mean
+	// can hide tail stalls where a few sensors sat routeless for seconds.
+	// Max is exact; the percentiles carry the histogram's 12.5% bucket
+	// width. All zero when no reroute happened.
+	TimeToRerouteP50 sim.Duration
+	TimeToRerouteP95 sim.Duration
+	TimeToRerouteMax sim.Duration
 	// Compromised counts nodes whose stack a compromise op swapped for an
 	// adversary; AttackerDropped/AttackerInjected total what those
 	// adversaries swallowed and forged.
@@ -325,6 +333,11 @@ func (in *Injector) Finish() *Reliability {
 	}
 	if m.Reroutes > 0 {
 		rel.TimeToReroute = sim.Duration(m.FailoverLatencyUs / m.Reroutes)
+	}
+	if h := m.Hist(metrics.HistFailoverLatencyUs); h.Count() > 0 {
+		rel.TimeToRerouteP50 = h.PercentileDuration(50)
+		rel.TimeToRerouteP95 = h.PercentileDuration(95)
+		rel.TimeToRerouteMax = sim.Duration(h.Max())
 	}
 	final := snap{gen: m.Generated, del: m.Delivered, taken: true}
 	fill := func(s *snap) snap {

@@ -79,6 +79,9 @@ func (m *Memory) recordDeliveredConcurrent(origin packet.NodeID, seq uint32, gw 
 		return
 	}
 	c.winners[k] = cand
+	// The live watermark counts fresh keys as they appear; Settle later picks
+	// each key's winning candidate but never changes the key count.
+	m.progress.AddDeliveries(1)
 }
 
 // Settle resolves every buffered delivery candidate into the final
@@ -111,9 +114,17 @@ func (m *Memory) Settle() {
 		m.delivered[k] = struct{}{}
 		m.Delivered++
 		m.perGateway[w.gw]++
-		m.hops = append(m.hops, w.hops)
+		m.hopsSum += uint64(w.hops)
+		m.hopsN++
 		if p, ok := m.pending[k]; ok {
-			m.latencies = append(m.latencies, w.at-p.at)
+			lat := w.at - p.at
+			m.latencies = append(m.latencies, lat)
+			m.latSorted = false
+			// Settle runs after every reporting goroutine has quiesced, so the
+			// plain (non-atomic) observe is safe; the winning sample multiset
+			// matches the sequential run's, and histogram adds commute, so the
+			// final histogram state is bit-identical.
+			m.hists[HistDeliveryLatencyUs].Observe(uint64(lat))
 			delete(m.pending, k)
 		}
 	}

@@ -128,6 +128,8 @@ type Sink interface {
 	Inc(c Counter)
 	// Add adds n to a named counter.
 	Add(c Counter, n uint64)
+	// Observe records one sample into a named histogram (histogram.go).
+	Observe(h HistID, v uint64)
 }
 
 // floodKey identifies a data packet per (origin, sequence).
@@ -194,11 +196,15 @@ type Memory struct {
 	AttackerInjected uint64 // packets forged or replayed onto the air by adversary stacks
 
 	pending    map[floodKey]pendingData
-	latencies  []sim.Duration
-	hops       []int
+	latencies  []sim.Duration // per-run exact samples; NOT carried across Merge
+	latSorted  bool           // latencies is already ascending (sorted at most once)
+	hopsSum    uint64         // exact hop-count sum over fresh deliveries
+	hopsN      uint64         // fresh deliveries contributing to hopsSum
+	hists      [numHists]Hist // fixed-memory mergeable distributions
 	perGateway map[packet.NodeID]uint64
 	delivered  map[floodKey]struct{}
 	obs        *obs.Bus
+	progress   *sim.Progress    // optional live watermark (delivery count)
 	conc       *concurrentState // non-nil in multi-goroutine mode (concurrent.go)
 }
 
@@ -312,6 +318,34 @@ func (m *Memory) Add(c Counter, n uint64) {
 	}
 }
 
+// Observe records one sample into a named histogram. Unknown IDs are
+// ignored. Like Inc/Add this sits on the hot path: a bucket increment and a
+// handful of integer compares, no allocation.
+func (m *Memory) Observe(h HistID, v uint64) {
+	if h >= numHists {
+		return
+	}
+	if m.conc != nil {
+		m.hists[h].ObserveAtomic(v)
+		return
+	}
+	m.hists[h].Observe(v)
+}
+
+// Hist returns the named histogram for reading (percentiles, snapshot).
+// Callers must not Observe through the returned pointer; use Observe.
+func (m *Memory) Hist(h HistID) *Hist {
+	if h >= numHists {
+		h = 0
+	}
+	m.Settle()
+	return &m.hists[h]
+}
+
+// SetProgress attaches a live progress watermark: every fresh delivery bumps
+// its delivery counter (atomically, so a poller may read mid-run).
+func (m *Memory) SetProgress(p *sim.Progress) { m.progress = p }
+
 // Count returns the current value of a named counter (0 when unknown).
 func (m *Memory) Count(c Counter) uint64 {
 	if p := m.counterPtr(c); p != nil {
@@ -357,11 +391,16 @@ func (m *Memory) RecordDelivered(origin packet.NodeID, seq uint32, gw packet.Nod
 	m.delivered[k] = struct{}{}
 	m.Delivered++
 	m.perGateway[gw]++
-	m.hops = append(m.hops, hops)
+	m.hopsSum += uint64(hops)
+	m.hopsN++
 	if p, ok := m.pending[k]; ok {
-		m.latencies = append(m.latencies, now-p.at)
+		lat := now - p.at
+		m.latencies = append(m.latencies, lat)
+		m.latSorted = false
+		m.hists[HistDeliveryLatencyUs].Observe(uint64(lat))
 		delete(m.pending, k)
 	}
+	m.progress.AddDeliveries(1)
 	if m.obs.Active() {
 		m.obs.Emit(obs.Event{At: now, Kind: obs.PacketDelivered, Node: gw, Origin: origin, Seq: seq, Value: int64(hops)})
 	}
@@ -398,39 +437,46 @@ func (m *Memory) DeliveryRatio() float64 {
 // MeanHops returns the average hop count over delivered data.
 func (m *Memory) MeanHops() float64 {
 	m.Settle()
-	if len(m.hops) == 0 {
+	if m.hopsN == 0 {
 		return 0
 	}
-	total := 0
-	for _, h := range m.hops {
-		total += h
-	}
-	return float64(total) / float64(len(m.hops))
+	return float64(m.hopsSum) / float64(m.hopsN)
 }
 
-// MeanLatency returns the average origination-to-delivery latency.
+// MeanLatency returns the average origination-to-delivery latency. The
+// delivery histogram carries the exact sum and count, so the mean is exact
+// even on merged aggregates that no longer hold raw samples.
 func (m *Memory) MeanLatency() sim.Duration {
 	m.Settle()
-	if len(m.latencies) == 0 {
+	h := &m.hists[HistDeliveryLatencyUs]
+	if h.count == 0 {
 		return 0
 	}
-	var total sim.Duration
-	for _, l := range m.latencies {
-		total += l
-	}
-	return total / sim.Duration(len(m.latencies))
+	return sim.Duration(h.sum / h.count)
 }
 
 // LatencyPercentile returns the p-th percentile latency. p is clamped to
 // [0, 100]: p <= 0 (and NaN) return the minimum sample, p >= 100 the
 // maximum. The zero duration is returned when nothing has been delivered.
+//
+// A per-run Memory still holds every raw sample, so the answer is exact: the
+// slice is sorted in place at most once and reused across p50/p95/p99 reads.
+// A merged aggregate (Merge drops raw samples to keep memory fixed) answers
+// from the delivery histogram, exact to within its 12.5% bucket width.
 func (m *Memory) LatencyPercentile(p float64) sim.Duration {
 	m.Settle()
-	if len(m.latencies) == 0 {
+	h := &m.hists[HistDeliveryLatencyUs]
+	if h.count == 0 {
 		return 0
 	}
-	ls := append([]sim.Duration(nil), m.latencies...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	if uint64(len(m.latencies)) != h.count {
+		return sim.Duration(h.Percentile(p))
+	}
+	if !m.latSorted {
+		sort.Slice(m.latencies, func(i, j int) bool { return m.latencies[i] < m.latencies[j] })
+		m.latSorted = true
+	}
+	ls := m.latencies
 	if math.IsNaN(p) || p <= 0 {
 		return ls[0]
 	}
@@ -511,25 +557,32 @@ func (m *Memory) ControlPackets() uint64 {
 	return m.RReqSent + m.RResSent + m.NotifySent + m.AckSent
 }
 
-// Merge folds another run's totals into m: counters are summed, hop and
-// latency samples appended, per-gateway deliveries added per key. The
-// per-packet dedup state (pending/delivered keys) is deliberately NOT
-// merged — (origin, seq) pairs collide across independent runs, so only
-// aggregate counts are meaningful across run boundaries. Folding runs in a
-// fixed order yields identical aggregates regardless of how many workers
-// produced the inputs.
+// Merge folds another run's totals into m: counters are summed, histograms
+// merged bucket-wise, hop sums and per-gateway deliveries added per key. Raw
+// latency samples are deliberately NOT appended — aggregates answer
+// percentile queries from the fixed-memory histograms, so merged state stays
+// bounded no matter how many runs fold in. The per-packet dedup state
+// (pending/delivered keys) is also not merged — (origin, seq) pairs collide
+// across independent runs, so only aggregate counts are meaningful across
+// run boundaries. Histogram merging is commutative and associative, so any
+// fold order (parallel workers, spatial shards) yields bit-identical
+// aggregates.
 func (m *Memory) Merge(o *Memory) {
 	if o == nil {
 		return
 	}
+	o.Settle()
 	m.Generated += o.Generated
 	m.Delivered += o.Delivered
 	m.Duplicates += o.Duplicates
 	for c := Counter(0); c < numCounters; c++ {
 		*m.counterPtr(c) += *o.counterPtr(c)
 	}
-	m.latencies = append(m.latencies, o.latencies...)
-	m.hops = append(m.hops, o.hops...)
+	for i := range m.hists {
+		m.hists[i].Merge(&o.hists[i])
+	}
+	m.hopsSum += o.hopsSum
+	m.hopsN += o.hopsN
 	if m.perGateway == nil {
 		m.perGateway = make(map[packet.NodeID]uint64, len(o.perGateway))
 	}

@@ -26,6 +26,11 @@ type Snapshot struct {
 	GatewayLoadImbalance float64           `json:"gateway_load_imbalance,omitempty"`
 	Counters             map[string]uint64 `json:"counters,omitempty"`
 	PerGateway           map[string]uint64 `json:"per_gateway,omitempty"`
+	// Histograms holds every non-empty named distribution (delivery latency,
+	// failover latency, link retries, queue depth) keyed by HistID.Name().
+	// Bucket lists are exact state, so byte-equal JSON implies bit-equal
+	// histograms — the property the shard/worker determinism tests pin.
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
 }
 
 func ms(d sim.Duration) float64 {
@@ -60,6 +65,15 @@ func (m *Memory) Snapshot() Snapshot {
 			s.PerGateway = make(map[string]uint64, len(m.perGateway))
 		}
 		s.PerGateway[fmt.Sprintf("n%d", uint32(gw))] = v
+	}
+	for i := HistID(0); i < numHists; i++ {
+		if m.hists[i].Count() == 0 {
+			continue
+		}
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistSnapshot, int(numHists))
+		}
+		s.Histograms[i.Name()] = m.hists[i].Snapshot()
 	}
 	return s
 }

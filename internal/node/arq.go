@@ -108,6 +108,12 @@ func (a *arqState) add(c metrics.Counter, n uint64) {
 	}
 }
 
+func (a *arqState) observe(h metrics.HistID, v uint64) {
+	if a.cfg.Metrics != nil {
+		a.cfg.Metrics.Observe(h, v)
+	}
+}
+
 // EnableLinkARQ arms hop-by-hop ARQ on the device's sensor-layer radio.
 // It is a no-op when cfg.Retries <= 0 or ARQ is already enabled. Protocol
 // stacks call this from Start when Params.LinkRetries is set.
@@ -176,6 +182,7 @@ func (d *Device) arqEnqueue(pkt *packet.Packet) bool {
 	}
 	a.queue = append(a.queue, pkt)
 	a.inc(metrics.LinkTxQueued)
+	a.observe(metrics.HistForwardQueueDepth, uint64(len(a.queue)))
 	if len(a.queue) == 1 {
 		d.arqTransmitHead()
 	}
@@ -233,6 +240,7 @@ func (d *Device) arqTimeout() {
 	}
 	head := a.queue[0]
 	a.inc(metrics.LinkFailures)
+	a.observe(metrics.HistLinkRetries, uint64(a.attempt))
 	if d.world.obs.Active() {
 		d.world.obs.Emit(obs.Event{
 			At: d.Now(), Kind: obs.LinkFailure, Node: d.id, Peer: head.To,
@@ -258,6 +266,11 @@ func (d *Device) arqHandleAck(ack *packet.Packet) {
 		a.timer = nil
 	}
 	a.inc(metrics.LinkAcked)
+	// Retries-per-settled-frame distribution: a.attempt retransmissions were
+	// needed before this ACK landed (0 = first try). The failure branch in
+	// arqTimeout records the exhausted budget for abandoned frames, so every
+	// settled frame contributes exactly one sample.
+	a.observe(metrics.HistLinkRetries, uint64(a.attempt))
 	if d.world.obs.Active() {
 		head := a.queue[0]
 		d.world.obs.Emit(obs.Event{

@@ -513,6 +513,7 @@ type World struct {
 	sensorsTotal int
 	onDeath      []func(DeathRecord)
 	obs          *obs.Bus
+	progress     *sim.Progress // sharded runs publish from the window loop
 }
 
 // NewWorld builds an empty world.
@@ -770,6 +771,19 @@ func (w *World) SetInterrupt(flag *atomic.Bool) {
 	for _, ln := range w.lanes {
 		ln.k.SetInterrupt(flag)
 	}
+}
+
+// SetProgress installs a live progress watermark. Sequentially the kernel
+// publishes from its run loop; sharded, the window coordinator publishes at
+// each barrier (lane kernels never get the probe — their event counts are
+// summed by the coordinator instead, since per-kernel publishes would
+// overwrite one another).
+func (w *World) SetProgress(p *sim.Progress) {
+	if w.lanes != nil {
+		w.progress = p
+		return
+	}
+	w.kernel.SetProgress(p)
 }
 
 // Run drives the simulation until the given horizon. With sharding enabled

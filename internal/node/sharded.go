@@ -294,6 +294,7 @@ func (w *World) runSharded(until sim.Time) uint64 {
 		if g.InterruptRequested() {
 			break
 		}
+		w.publishShardedProgress()
 		gt, gok := g.NextAt()
 		var lt sim.Time
 		lok := false
@@ -333,7 +334,27 @@ func (w *World) runSharded(until sim.Time) uint64 {
 		total += w.runWindow(horizon)
 		w.drainBarrier()
 	}
+	w.publishShardedProgress()
 	return total
+}
+
+// publishShardedProgress publishes the coordinator's view of a sharded run:
+// the furthest lane clock and the event total across the global lane and
+// every region lane. Only called at barriers, when workers are parked, so
+// the plain kernel reads are race-free.
+func (w *World) publishShardedProgress() {
+	if w.progress == nil {
+		return
+	}
+	now := w.kernel.Now()
+	events := w.kernel.Fired()
+	for _, ln := range w.lanes {
+		if t := ln.k.Now(); t > now {
+			now = t
+		}
+		events += ln.k.Fired()
+	}
+	w.progress.Publish(now, events)
 }
 
 // runShardedAll drives the sharded world until every lane drains.

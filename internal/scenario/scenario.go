@@ -154,6 +154,16 @@ type Config struct {
 	// subset of legitimate nodes while keeping them on routing paths.
 	Mutate       func(n *Net)
 	StackWrapper func(id packet.NodeID, st node.Stack) node.Stack
+
+	// Progress, when non-nil, receives a live watermark while the run
+	// executes: sim-time and events fired published by the kernel every
+	// event batch (the sharded window coordinator at each barrier), fresh
+	// deliveries counted by the metrics sink, and Done flipped when
+	// RunTraffic returns. Any goroutine may Progress.Snapshot() at any
+	// time. Each run must own its probe — see ProgressBoard for multi-run
+	// jobs. The probe only ever reads watermark state, so a watched run's
+	// Result is identical to an unwatched one.
+	Progress *sim.Progress
 }
 
 // TEENConfig configures threshold-sensitive reporting.
@@ -405,6 +415,10 @@ func buildE(cfg Config, ar *runArena) (*Net, error) {
 	if cfg.Shards > 1 {
 		w.EnableSharding(cfg.Shards, region)
 		m.EnableConcurrent()
+	}
+	if cfg.Progress != nil {
+		w.SetProgress(cfg.Progress)
+		m.SetProgress(cfg.Progress)
 	}
 	n := &Net{
 		Cfg:     cfg,
@@ -659,7 +673,9 @@ func (n *Net) RunTraffic() Result {
 	}
 	n.StartTraffic()
 	n.World.Run(cfg.RunFor)
-	return n.Summarize()
+	res := n.Summarize()
+	cfg.Progress.MarkDone()
+	return res
 }
 
 // Summarize captures the current state as a Result.

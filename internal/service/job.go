@@ -8,6 +8,7 @@ import (
 
 	"wmsn/internal/metrics"
 	"wmsn/internal/obs"
+	"wmsn/internal/scenario"
 	"wmsn/internal/sim"
 	"wmsn/internal/trace"
 )
@@ -30,6 +31,8 @@ const (
 //	"result"  run Run completed (Metrics and the summary fields set)
 //	"error"   run Run failed or was canceled (Error set)
 //	"notice"  service notice (Error carries the text, e.g. trace truncation)
+//	"progress" wall-clock heartbeat with the live watermark (Progress set);
+//	          only emitted when the request set progress_s > 0
 //	"done"    terminal line: final state and delivery counts
 //
 // cmd/wmsntrace -from-stream consumes this framing to replay a streamed
@@ -43,8 +46,9 @@ type StreamLine struct {
 	ID   string `json:"id,omitempty"`
 	Runs int    `json:"runs,omitempty"`
 
-	Ev     *obs.Event       `json:"ev,omitempty"`
-	Series *trace.TableData `json:"series,omitempty"`
+	Ev       *obs.Event         `json:"ev,omitempty"`
+	Series   *trace.TableData   `json:"series,omitempty"`
+	Progress *scenario.Progress `json:"progress,omitempty"`
 
 	Metrics      *metrics.Snapshot `json:"metrics,omitempty"`
 	ElapsedS     float64           `json:"elapsed_s,omitempty"`
@@ -67,6 +71,10 @@ func seconds(t sim.Time) float64 { return float64(t) / float64(sim.Second) }
 type Job struct {
 	id   string
 	opts jobOptions
+
+	// board holds one lock-free progress probe per run; the kernels publish
+	// watermarks into it and GET /v1/jobs/{id}/progress reads them live.
+	board *scenario.ProgressBoard
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -91,6 +99,7 @@ func newJob(id string, opts jobOptions, base context.Context) *Job {
 	return &Job{
 		id:     id,
 		opts:   opts,
+		board:  scenario.NewProgressBoard(len(opts.cfgs)),
 		ctx:    ctx,
 		cancel: cancel,
 		state:  StateQueued,

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wmsn/internal/metrics"
 	"wmsn/internal/obs"
 	"wmsn/internal/protocol"
 	"wmsn/internal/scenario"
@@ -104,6 +105,12 @@ type Service struct {
 	jobs   map[string]*Job
 	order  []*Job // insertion order, for retention eviction
 	nextID uint64
+
+	// promMu guards the per-protocol lifetime aggregates behind GET /metrics.
+	// Every delivered run's Memory folds into its protocol's aggregate, so a
+	// scrape sees daemon-lifetime counter totals and merged histograms.
+	promMu    sync.Mutex
+	promProto map[string]*metrics.Aggregate
 }
 
 // New starts a service: schedulers are running and the handler is ready.
@@ -121,10 +128,12 @@ func New(cfg Config) *Service {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Schedulers; i++ {
 		s.wg.Add(1)
 		go s.scheduler()
@@ -221,6 +230,9 @@ func (s *Service) runJob(j *Job) {
 
 	cfgs := make([]scenario.Config, len(j.opts.cfgs))
 	copy(cfgs, j.opts.cfgs)
+	for i := range cfgs {
+		cfgs[i].Progress = j.board.Run(i)
+	}
 	var series []*obs.Series
 	if j.opts.trace || j.opts.series > 0 {
 		series = make([]*obs.Series, len(cfgs))
@@ -241,8 +253,30 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 
+	// The in-stream heartbeat: wall-clock-paced progress lines, opt-in per
+	// request so the default stream stays deterministic.
+	var hbStop, hbDone chan struct{}
+	if j.opts.progress > 0 {
+		hbStop, hbDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			t := time.NewTicker(j.opts.progress)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					p := j.board.Snapshot(false)
+					j.append(StreamLine{Type: "progress", Progress: &p})
+				}
+			}
+		}()
+	}
+
 	err := scenario.RunEach(ctx, j.opts.workers, cfgs, func(i int, r scenario.Result, err error) {
 		if err != nil {
+			j.board.MarkDone(i)
 			j.mu.Lock()
 			j.runErrors++
 			j.mu.Unlock()
@@ -250,6 +284,7 @@ func (s *Service) runJob(j *Job) {
 			j.append(StreamLine{Type: "error", Run: i, Seed: cfgs[i].Seed, Error: err.Error()})
 			return
 		}
+		j.board.MarkDone(i)
 		if series != nil && series[i] != nil {
 			td := series[i].Table(fmt.Sprintf("%s run %d series", j.id, i)).Data()
 			j.append(StreamLine{Type: "series", Run: i, Seed: r.Cfg.Seed, Series: &td})
@@ -269,9 +304,14 @@ func (s *Service) runJob(j *Job) {
 		j.delivered++
 		j.mu.Unlock()
 		s.stats.runsDelivered.Add(1)
+		s.absorbRunMetrics(string(r.Cfg.Protocol), r.Metrics)
 		j.append(line)
 	})
 
+	if hbStop != nil {
+		close(hbStop)
+		<-hbDone
+	}
 	s.stats.active.Add(-1)
 	switch {
 	case err == nil:
@@ -500,4 +540,43 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// progressBody is the JSON body of GET /v1/jobs/{id}/progress.
+type progressBody struct {
+	ID       string            `json:"id"`
+	State    string            `json:"state"`
+	Progress scenario.Progress `json:"progress"`
+}
+
+// handleProgress serves a job's live watermark: per-run virtual time, event
+// and delivery counts published lock-free by the running kernels. Polling it
+// is always safe — it never perturbs the simulation or the stream.
+func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, progressBody{
+		ID:       j.id,
+		State:    j.status().State,
+		Progress: j.board.Snapshot(true),
+	})
+}
+
+// absorbRunMetrics folds one delivered run's metrics into the per-protocol
+// lifetime aggregates served by GET /metrics.
+func (s *Service) absorbRunMetrics(proto string, m *metrics.Memory) {
+	s.promMu.Lock()
+	defer s.promMu.Unlock()
+	if s.promProto == nil {
+		s.promProto = make(map[string]*metrics.Aggregate)
+	}
+	agg := s.promProto[proto]
+	if agg == nil {
+		agg = metrics.NewAggregate()
+		s.promProto[proto] = agg
+	}
+	agg.Absorb(m)
 }

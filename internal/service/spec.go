@@ -107,6 +107,15 @@ type RunRequest struct {
 	// measured from the moment a scheduler picks the job up. 0 selects the
 	// service default; the service clamps it to its per-job maximum.
 	DeadlineS float64 `json:"deadline_s,omitempty"`
+
+	// ProgressS, when positive, emits one {"type":"progress"} heartbeat line
+	// on the job stream every ProgressS wall-clock seconds while the job
+	// runs, carrying the aggregated live watermark (virtual time, events,
+	// deliveries per run). Progress polling via GET /v1/jobs/{id}/progress is
+	// always available regardless of this field; ProgressS only controls the
+	// in-stream heartbeat. 0 keeps the stream strictly deterministic (no
+	// wall-clock-dependent lines).
+	ProgressS float64 `json:"progress_s,omitempty"`
 }
 
 // Limits bounds what one job may ask of the service. The zero value selects
@@ -215,6 +224,7 @@ type jobOptions struct {
 	sample   sim.Duration
 	series   sim.Duration
 	deadline time.Duration
+	progress time.Duration // stream-heartbeat interval; 0 = no heartbeat lines
 }
 
 // expand validates the request against the limits and expands it into
@@ -300,6 +310,10 @@ func (r RunRequest) expand(l Limits) (jobOptions, error) {
 	if r.SampleS < 0 || r.SeriesS < 0 {
 		errs = append(errs, errors.New("sample_s and series_s must be non-negative"))
 	}
+	if r.ProgressS < 0 {
+		errs = append(errs, fmt.Errorf("progress_s %g is negative", r.ProgressS))
+	}
+	o.progress = time.Duration(r.ProgressS * float64(time.Second))
 	if err := errors.Join(errs...); err != nil {
 		return jobOptions{}, err
 	}

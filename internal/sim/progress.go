@@ -1,0 +1,70 @@
+package sim
+
+import "sync/atomic"
+
+// Progress is a lock-free watermark describing how far a running simulation
+// has advanced. The kernel publishes sim-time and event counts from its run
+// loops (piggybacking on the same every-interruptStride poll that serves
+// cancellation, so an installed probe costs one predictable branch per event
+// batch); the metrics layer bumps the delivery counter; any goroutine may
+// Snapshot at any time. All methods are nil-receiver safe so recording sites
+// can stay unconditional.
+//
+// One Progress describes one run. Multi-run jobs hold one per run (see
+// scenario.ProgressBoard) and aggregate at read time.
+type Progress struct {
+	simTime    atomic.Int64
+	events     atomic.Uint64
+	deliveries atomic.Uint64
+	done       atomic.Bool
+}
+
+// Publish records the current sim-time watermark and cumulative event count.
+// Called by the kernel's run loops; external callers normally only read.
+func (p *Progress) Publish(now Time, events uint64) {
+	if p == nil {
+		return
+	}
+	p.simTime.Store(int64(now))
+	p.events.Store(events)
+}
+
+// AddDeliveries bumps the fresh-delivery counter.
+func (p *Progress) AddDeliveries(n uint64) {
+	if p == nil {
+		return
+	}
+	p.deliveries.Add(n)
+}
+
+// MarkDone flags the run as finished. Idempotent.
+func (p *Progress) MarkDone() {
+	if p == nil {
+		return
+	}
+	p.done.Store(true)
+}
+
+// ProgressSnapshot is one consistent-enough read of a watermark: fields are
+// read individually (each atomically), which is exact once the run is done
+// and at most one event batch stale while it is live.
+type ProgressSnapshot struct {
+	SimTime    Time
+	Events     uint64
+	Deliveries uint64
+	Done       bool
+}
+
+// Snapshot reads the current watermark. Safe from any goroutine; returns the
+// zero snapshot for a nil probe.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	return ProgressSnapshot{
+		SimTime:    Time(p.simTime.Load()),
+		Events:     p.events.Load(),
+		Deliveries: p.deliveries.Load(),
+		Done:       p.done.Load(),
+	}
+}

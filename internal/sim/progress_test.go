@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+// A nil probe must be a no-op everywhere: the kernel and metrics paths call
+// the methods unconditionally on possibly-nil receivers.
+func TestProgressNilReceiverSafe(t *testing.T) {
+	var p *Progress
+	p.Publish(Second, 1)
+	p.AddDeliveries(3)
+	p.MarkDone()
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("nil probe snapshot = %+v, want zero", s)
+	}
+}
+
+// The kernel must publish its watermark at checkpoint strides during the run
+// and exactly at exit, so a poller never sees the probe lag the finished run.
+func TestKernelPublishesProgress(t *testing.T) {
+	k := NewKernel(1)
+	var p Progress
+	k.SetProgress(&p)
+
+	const total = 3 * interruptStride
+	var tick func()
+	n := 0
+	var midEvents uint64
+	tick = func() {
+		n++
+		if n == interruptStride+1 {
+			// One full stride has passed: the checkpoint between event
+			// interruptStride and interruptStride+1 must have published.
+			midEvents = p.Snapshot().Events
+		}
+		if n < total {
+			k.After(Microsecond, tick)
+		}
+	}
+	k.After(0, tick)
+	ran := k.Run(Hour)
+
+	if midEvents == 0 {
+		t.Error("no mid-run checkpoint publish within one stride")
+	}
+	s := p.Snapshot()
+	if s.Events != ran {
+		t.Errorf("exit watermark events = %d, want %d", s.Events, ran)
+	}
+	if s.SimTime != k.Now() {
+		t.Errorf("exit watermark time = %v, want %v", s.SimTime, k.Now())
+	}
+	if s.Done {
+		t.Error("kernel must not mark the run done; that is the scenario layer's call")
+	}
+}
+
+// A probe installed but never read must not change what runs — same contract
+// as the interrupt flag.
+func TestProgressProbeIsInert(t *testing.T) {
+	fired := func(install bool) (uint64, Time) {
+		k := NewKernel(7)
+		if install {
+			k.SetProgress(&Progress{})
+		}
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 20000 {
+				k.After(Microsecond, tick)
+			}
+		}
+		k.After(0, tick)
+		return k.Run(Hour), k.Now()
+	}
+	nPlain, tPlain := fired(false)
+	nProbe, tProbe := fired(true)
+	if nPlain != nProbe || tPlain != tProbe {
+		t.Fatalf("armed-but-unread probe changed the run: %d@%v vs %d@%v",
+			nProbe, tProbe, nPlain, tPlain)
+	}
+}
+
+// MarkDone latches and the snapshot carries deliveries added from any path.
+func TestProgressSnapshotFields(t *testing.T) {
+	var p Progress
+	p.Publish(5*Second, 100)
+	p.AddDeliveries(2)
+	p.AddDeliveries(1)
+	p.MarkDone()
+	s := p.Snapshot()
+	if s.SimTime != 5*Second || s.Events != 100 || s.Deliveries != 3 || !s.Done {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

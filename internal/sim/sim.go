@@ -110,6 +110,12 @@ type Kernel struct {
 	// running kernel from another goroutine: Stop flips an unsynchronized
 	// field and may only be called from inside an event callback.
 	interrupt *atomic.Bool
+
+	// progress, when non-nil, receives a (sim-time, events-fired) watermark
+	// at the same stride checkpoints the interrupt flag is polled at, plus
+	// once when a run loop exits. Published with atomic stores so another
+	// goroutine can watch a live run.
+	progress *Progress
 }
 
 // interruptStride is how many events run between cancellation-flag polls.
@@ -347,6 +353,13 @@ func (k *Kernel) Stop() { k.stopped = true }
 // its allocation profile — unchanged.
 func (k *Kernel) SetInterrupt(flag *atomic.Bool) { k.interrupt = flag }
 
+// SetProgress installs (or, with nil, removes) a live progress watermark.
+// The run loops publish to it every interruptStride executed events and once
+// more when they return, so a poller sees sim-time and event counts at most
+// one event batch stale. Like SetInterrupt, a nil probe leaves the hot
+// loop's behaviour — and its allocation profile — unchanged.
+func (k *Kernel) SetProgress(p *Progress) { k.progress = p }
+
 // InterruptRequested reports whether an installed interrupt flag is set.
 // Coordinating loops that drive the kernel through Step/RunBefore directly
 // (the sharded window loop) check it between batches.
@@ -389,9 +402,10 @@ func (k *Kernel) Run(until Time) uint64 {
 	start := k.fired
 	check := 0
 	for !k.stopped {
-		if k.interrupt != nil {
+		if k.interrupt != nil || k.progress != nil {
 			if check == 0 {
-				if k.interrupt.Load() {
+				k.progress.Publish(k.now, k.fired)
+				if k.interrupt != nil && k.interrupt.Load() {
 					k.stopped = true
 					break
 				}
@@ -408,6 +422,7 @@ func (k *Kernel) Run(until Time) uint64 {
 		}
 		k.Step()
 	}
+	k.progress.Publish(k.now, k.fired)
 	return k.fired - start
 }
 
@@ -417,9 +432,10 @@ func (k *Kernel) RunAll() uint64 {
 	start := k.fired
 	check := 0
 	for !k.stopped {
-		if k.interrupt != nil {
+		if k.interrupt != nil || k.progress != nil {
 			if check == 0 {
-				if k.interrupt.Load() {
+				k.progress.Publish(k.now, k.fired)
+				if k.interrupt != nil && k.interrupt.Load() {
 					k.stopped = true
 					break
 				}
@@ -431,6 +447,7 @@ func (k *Kernel) RunAll() uint64 {
 			break
 		}
 	}
+	k.progress.Publish(k.now, k.fired)
 	return k.fired - start
 }
 

@@ -30,9 +30,10 @@ func (k *Kernel) RunBefore(horizon Time) uint64 {
 	start := k.fired
 	check := 0
 	for !k.stopped {
-		if k.interrupt != nil {
+		if k.interrupt != nil || k.progress != nil {
 			if check == 0 {
-				if k.interrupt.Load() {
+				k.progress.Publish(k.now, k.fired)
+				if k.interrupt != nil && k.interrupt.Load() {
 					k.stopped = true
 					break
 				}
